@@ -1,0 +1,50 @@
+//! GEMM micro-benchmarks: the kernels that dominate DNN training cost
+//! (forward NT, weight-gradient TN, backprop NN), serial vs rayon-parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_tensor::{gemm, Matrix};
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // Shapes matching a 512-wide MLP layer at several batch sizes.
+    for &batch in &[64usize, 512, 2048] {
+        let (m, k, n) = (batch, 512, 512);
+        let flops = 2 * m as u64 * k as u64 * n as u64;
+        group.throughput(Throughput::Elements(flops));
+        let a = mat(m, k, 1);
+        let b = mat(k, n, 2);
+        let bt = b.transpose();
+        let at = a.transpose();
+
+        group.bench_with_input(BenchmarkId::new("nn_serial", batch), &batch, |bch, _| {
+            let mut cmat = Matrix::zeros(m, n);
+            bch.iter(|| gemm::gemm_nn(1.0, &a, &b, 0.0, &mut cmat));
+        });
+        group.bench_with_input(BenchmarkId::new("nn_parallel", batch), &batch, |bch, _| {
+            let mut cmat = Matrix::zeros(m, n);
+            bch.iter(|| gemm::par_gemm_nn(1.0, &a, &b, 0.0, &mut cmat));
+        });
+        group.bench_with_input(BenchmarkId::new("nt_parallel", batch), &batch, |bch, _| {
+            let mut cmat = Matrix::zeros(m, n);
+            bch.iter(|| gemm::par_gemm_nt(1.0, &a, &bt, 0.0, &mut cmat));
+        });
+        group.bench_with_input(BenchmarkId::new("tn_parallel", batch), &batch, |bch, _| {
+            let mut cmat = Matrix::zeros(m, n);
+            bch.iter(|| gemm::par_gemm_tn(1.0, &at, &b, 0.0, &mut cmat));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

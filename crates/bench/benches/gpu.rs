@@ -1,0 +1,64 @@
+//! Software-GPU benchmarks: allocator, transfers, kernels, and the full
+//! on-device training step a GPU worker executes per batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_gpu::{GpuDevice, GpuMlp, Stream};
+use hetero_nn::{InitScheme, MlpSpec, Model, Targets};
+use hetero_tensor::Matrix;
+
+fn bench_gpu(c: &mut Criterion) {
+    let device = GpuDevice::v100();
+
+    let mut group = c.benchmark_group("gpu_mem");
+    group.bench_function("alloc_free_1mb", |b| {
+        b.iter(|| {
+            let buf = device.mem().alloc(1 << 18).unwrap();
+            device.mem().free(buf).unwrap();
+        });
+    });
+    let host = vec![0.5f32; 1 << 18];
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("h2d_d2h_1mb", |b| {
+        b.iter(|| {
+            let buf = device.h2d(&host).unwrap();
+            let back = device.d2h(buf);
+            device.mem().free(buf).unwrap();
+            back
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("gpu_stream");
+    group.bench_function("launch_sync_noop", |b| {
+        let s = Stream::new("bench");
+        b.iter(|| {
+            s.launch(|| {});
+            s.synchronize();
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("gpu_train_step");
+    let spec = MlpSpec {
+        input_dim: 54,
+        hidden: vec![128; 4],
+        classes: 2,
+        activation: hetero_nn::Activation::Sigmoid,
+        loss: hetero_nn::LossKind::SoftmaxCrossEntropy,
+    };
+    let model = Model::new(spec.clone(), InitScheme::PaperNormal, 1);
+    for &batch in &[64usize, 512] {
+        let x = Matrix::from_fn(batch, 54, |i, j| ((i + j) as f32 * 0.1).cos());
+        let y: Vec<u32> = (0..batch).map(|i| (i % 2) as u32).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("train_step", batch), &batch, |b, _| {
+            let mut mlp = GpuMlp::upload(&device, &model).unwrap();
+            b.iter(|| mlp.train_step(&x, Targets::Classes(&y), 0.01).unwrap());
+            mlp.destroy();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Message-queue benchmarks: the coordinator↔worker transport must be
+//! cheap relative to batch processing (§V "lightweight asynchronous
+//! coordinator").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hetero_mq::{channel, MpscQueue};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mq");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("queue_push_pop_uncontended", |b| {
+        let q = MpscQueue::new();
+        b.iter(|| {
+            q.push(1u64);
+            q.pop_spin()
+        });
+    });
+
+    group.bench_function("channel_send_recv_uncontended", |b| {
+        let (tx, rx) = channel();
+        b.iter(|| {
+            tx.send(1u64).unwrap();
+            rx.try_recv().unwrap()
+        });
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("channel_4_producers_10k", |b| {
+        b.iter(|| {
+            let (tx, rx) = channel();
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..2500u64 {
+                            tx.send(i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut n = 0u64;
+            while rx.recv().is_ok() {
+                n += 1;
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n, 10_000);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

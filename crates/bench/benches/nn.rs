@@ -1,0 +1,56 @@
+//! Forward/backward benchmarks for the paper's network shapes: how much a
+//! single SGD step costs at CPU-like (1/thread) vs GPU-like (large) batch
+//! sizes, and the Hogwild shared-model update paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_nn::{
+    loss_and_gradient, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets,
+};
+use hetero_tensor::Matrix;
+
+fn batch(n: usize, d: usize) -> (Matrix, Vec<u32>) {
+    let x = Matrix::from_fn(n, d, |i, j| ((i * d + j) as f32 * 0.17).sin());
+    let y = (0..n).map(|i| (i % 2) as u32).collect();
+    (x, y)
+}
+
+fn bench_nn(c: &mut Criterion) {
+    // covtype-like network scaled to 128-wide for bench runtime.
+    let spec = MlpSpec {
+        input_dim: 54,
+        hidden: vec![128; 6],
+        classes: 2,
+        activation: hetero_nn::Activation::Sigmoid,
+        loss: LossKind::SoftmaxCrossEntropy,
+    };
+    let model = Model::new(spec.clone(), InitScheme::PaperNormal, 1);
+
+    let mut group = c.benchmark_group("nn_step");
+    for &b in &[1usize, 64, 1024] {
+        let (x, y) = batch(b, 54);
+        group.throughput(Throughput::Elements(b as u64));
+        group.bench_with_input(BenchmarkId::new("loss_and_gradient", b), &b, |bch, _| {
+            bch.iter(|| loss_and_gradient(&model, &x, Targets::Classes(&y), b >= 64));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shared_model");
+    let shared = SharedModel::new(&model);
+    let (x, y) = batch(16, 54);
+    let (_, grad) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+    group.throughput(Throughput::Elements(model.num_params() as u64));
+    group.bench_function("apply_gradient_racy", |b| {
+        b.iter(|| shared.apply_gradient_racy(&grad, 1e-6));
+    });
+    group.bench_function("apply_gradient_atomic", |b| {
+        b.iter(|| shared.apply_gradient_atomic(&grad, 1e-6));
+    });
+    group.bench_function("snapshot", |b| {
+        b.iter(|| shared.snapshot());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

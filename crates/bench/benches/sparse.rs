@@ -1,0 +1,56 @@
+//! Dense vs sparse first-layer products at real-sim-like density —
+//! quantifying the paper's "process everything dense" decision (§VII-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_tensor::{gemm, CsrMatrix, Matrix};
+
+fn sparse_batch(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    let threshold = (density * u64::MAX as f64) as u64;
+    Matrix::from_fn(rows, cols, |_, _| {
+        if next() < threshold {
+            ((next() >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense");
+    // real-sim-like shapes: wide input, modest batch, 0.25%–10% density.
+    let (batch, input_dim, out) = (128usize, 4096usize, 256usize);
+    let w = Matrix::from_fn(input_dim, out, |i, j| ((i + j) as f32 * 0.01).sin());
+    let wt = w.transpose(); // out×in layout for the dense NT kernel
+
+    for &density in &[0.0025f64, 0.02, 0.1] {
+        let x = sparse_batch(batch, input_dim, density, 42);
+        let csr = CsrMatrix::from_dense(&x, 0.0);
+        group.throughput(Throughput::Elements(csr.nnz() as u64 * out as u64));
+        group.bench_with_input(
+            BenchmarkId::new("spmm", format!("{density}")),
+            &density,
+            |b, _| {
+                b.iter(|| csr.spmm(&w));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_gemm", format!("{density}")),
+            &density,
+            |b, _| {
+                let mut z = Matrix::zeros(batch, out);
+                b.iter(|| gemm::gemm_nt(1.0, &x, &wt, 0.0, &mut z));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 5 — normalized loss vs (virtual) time, all algorithms × all
+//! four datasets.
+//!
+//! Paper shapes this must reproduce:
+//! - the heterogeneous algorithms (CPU+GPU, Adaptive) reach low loss
+//!   fastest;
+//! - Hogbatch/Hogwild CPU is orders of magnitude slower per epoch
+//!   (236–317×) and barely moves within the budget;
+//! - TensorFlow tracks Hogbatch GPU closely — except on `delicious`,
+//!   where its multi-label path makes it clearly worse;
+//! - Adaptive beats CPU+GPU on `real-sim` (high-dimensional data suffers
+//!   more from conflicting updates).
+//!
+//! Output: CSV `dataset,algorithm,time,normalized_loss` on stdout; a
+//! summary table on stderr.
+
+use hetero_bench::plot::{write_chart, ChartConfig, Series};
+use hetero_bench::{normalization_basis, Harness};
+use hetero_core::AlgorithmKind;
+use hetero_data::PaperDataset;
+
+fn main() {
+    let h = Harness::default();
+    eprintln!(
+        "fig5: scale={} width={} budget={}s (HETERO_SCALE/WIDTH/BUDGET to change)",
+        h.scale, h.width, h.budget
+    );
+    println!("dataset,algorithm,time_s,normalized_loss");
+    for p in PaperDataset::all() {
+        let dataset = h.dataset(p);
+        let results: Vec<_> = AlgorithmKind::all()
+            .into_iter()
+            .map(|a| h.run_on(p, &dataset, a))
+            .collect();
+        let basis = normalization_basis(&results);
+        eprintln!("\n== {} (basis loss {:.5}) ==", dataset.name, basis);
+        let mut svg_series = Vec::new();
+        for r in &results {
+            for pt in r.normalized_curve(basis) {
+                println!("{},{},{:.5},{:.5}", dataset.name, r.algorithm, pt.time, pt.loss);
+            }
+            svg_series.push(Series {
+                name: r.algorithm.clone(),
+                points: r
+                    .normalized_curve(basis)
+                    .iter()
+                    .map(|pt| (pt.time, pt.loss as f64))
+                    .collect(),
+            });
+            eprintln!(
+                "  {:24} final {:7.3}x basis | reaches 1.5x basis at {}",
+                r.algorithm,
+                r.final_loss() / basis,
+                r.time_to_loss(basis * 1.5)
+                    .map(|t| format!("{t:.3}s"))
+                    .unwrap_or_else(|| "never".into()),
+            );
+        }
+        let cfg = ChartConfig {
+            title: format!("Fig. 5 — normalized loss vs time ({})", dataset.name),
+            x_label: "virtual seconds".into(),
+            y_label: "loss / min loss (log)".into(),
+            log_y: true,
+            ..ChartConfig::default()
+        };
+        let path = format!("results/fig5_{}.svg", dataset.name);
+        if write_chart(&path, &cfg, &svg_series).unwrap_or(false) {
+            eprintln!("  wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 6 — normalized loss vs epochs (statistical efficiency).
+//!
+//! Paper shapes: small-batch methods make the most progress per epoch;
+//! Hogbatch GPU and TensorFlow (largest batches) are the least
+//! statistically efficient and overlap almost exactly; the heterogeneous
+//! algorithms sit between, with Adaptive above CPU+GPU (its batch mix is
+//! closer to uniform). Hogwild CPU is omitted from the paper's figure —
+//! it cannot complete the epochs in reasonable time — but we still emit
+//! its (short) curve for completeness.
+//!
+//! Output: CSV `dataset,algorithm,epochs,normalized_loss`.
+
+use hetero_bench::plot::{write_chart, ChartConfig, Series};
+use hetero_bench::{normalization_basis, Harness};
+use hetero_core::AlgorithmKind;
+use hetero_data::PaperDataset;
+
+fn main() {
+    let h = Harness::default();
+    eprintln!(
+        "fig6: scale={} width={} budget={}s",
+        h.scale, h.width, h.budget
+    );
+    println!("dataset,algorithm,epochs,normalized_loss");
+    for p in PaperDataset::all() {
+        let dataset = h.dataset(p);
+        let results: Vec<_> = AlgorithmKind::all()
+            .into_iter()
+            .map(|a| h.run_on(p, &dataset, a))
+            .collect();
+        let basis = normalization_basis(&results);
+        eprintln!("\n== {} ==", dataset.name);
+        let mut svg_series = Vec::new();
+        for r in &results {
+            for pt in r.normalized_curve(basis) {
+                println!(
+                    "{},{},{:.4},{:.5}",
+                    dataset.name, r.algorithm, pt.epochs, pt.loss
+                );
+            }
+            svg_series.push(Series {
+                name: r.algorithm.clone(),
+                points: r
+                    .normalized_curve(basis)
+                    .iter()
+                    .map(|pt| (pt.epochs, pt.loss as f64))
+                    .collect(),
+            });
+            // Loss after the first completed epoch — the per-epoch
+            // efficiency the figure ranks algorithms by.
+            let after_one = r
+                .loss_curve
+                .iter()
+                .find(|pt| pt.epochs >= 1.0)
+                .map(|pt| format!("{:.3}x", pt.loss / basis))
+                .unwrap_or_else(|| "n/a (no full epoch)".into());
+            eprintln!(
+                "  {:24} {:8.2} epochs run | loss after 1 epoch {}",
+                r.algorithm, r.epochs, after_one
+            );
+        }
+        let cfg = ChartConfig {
+            title: format!("Fig. 6 — normalized loss vs epochs ({})", dataset.name),
+            x_label: "epochs".into(),
+            y_label: "loss / min loss (log)".into(),
+            log_y: true,
+            ..ChartConfig::default()
+        };
+        let path = format!("results/fig6_{}.svg", dataset.name);
+        if write_chart(&path, &cfg, &svg_series).unwrap_or(false) {
+            eprintln!("  wrote {path}");
+        }
+    }
+}

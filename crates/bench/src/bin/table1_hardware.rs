@@ -1,0 +1,59 @@
+//! Table I — hardware architecture specification.
+//!
+//! Prints the paper's hardware table side by side with the simulated
+//! device models this reproduction runs on, so every calibrated constant
+//! is visible.
+
+use hetero_sim::{CpuModel, DeviceModel, GpuModel};
+
+fn main() {
+    let cpu = CpuModel::xeon_pair();
+    let gpu = GpuModel::v100();
+
+    println!("# Table I: hardware architecture specifications");
+    println!("component,paper,simulated");
+    println!("CPU cores,18 per socket (2 sockets),{} worker threads of {}", cpu.threads, cpu.hw_threads);
+    println!("CPU threads,36 per socket,{}", cpu.hw_threads);
+    println!("GPU MPs,80 (V100),occupancy curve b/(b+{})", gpu.occupancy_half_batch);
+    println!("GPU threads,2048 per MP,modeled via occupancy");
+    println!("L1 cache,32(D) KB / 128 KB,— (throughput model)");
+    println!("L2 cache,256 KB / 6 MB,— (throughput model)");
+    println!("L3 / shared,45 MB / 96 KB,— (throughput model)");
+    println!("host memory,488 GB,{} GB", cpu.memory_capacity() >> 30);
+    println!("GPU memory,16 GB,{} GB", gpu.memory_capacity() >> 30);
+    println!();
+    println!("# calibrated throughput constants");
+    println!("metric,value");
+    println!("GPU peak fp32,{:.1} TFLOP/s", gpu.peak_flops / 1e12);
+    println!("GPU occupancy @512,{:.2}", gpu.occupancy(512));
+    println!("GPU occupancy @8192,{:.2}", gpu.occupancy(8192));
+    println!("GPU kernel-launch overhead,{:.0} us/step", gpu.launch_overhead * 1e6);
+    println!("PCIe bandwidth,{:.0} GB/s", gpu.transfer_bandwidth / 1e9);
+    println!("PCIe latency,{:.0} us", gpu.transfer_latency * 1e6);
+    println!("CPU per-thread GEMV,{:.1} GFLOP/s", cpu.thread_flops(1) / 1e9);
+    println!("CPU per-thread GEMM,{:.1} GFLOP/s", cpu.thread_flops(1024) / 1e9);
+    println!("CPU dispatch overhead,{:.0} us/batch", cpu.dispatch_overhead * 1e6);
+
+    // The single number the models are calibrated against (§VII-B).
+    let fpe: u64 = {
+        let dims = [
+            (54usize, 512usize),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 2),
+        ];
+        3 * dims.iter().map(|&(i, o)| 2 * (i as u64) * (o as u64)).sum::<u64>()
+    };
+    let n = 581_012usize;
+    let gpu_epoch = (n.div_ceil(8192)) as f64
+        * (gpu.batch_time(fpe, 8192) + gpu.transfer_time((8192 * 54 * 4) as u64));
+    let cpu_epoch = (n as f64 / cpu.threads as f64) * cpu.batch_time(fpe, cpu.threads);
+    println!();
+    println!("# calibration check (paper: CPU Hogwild 236-317x slower per epoch)");
+    println!("covtype epoch on GPU (mini-batch 8192),{:.3} s", gpu_epoch);
+    println!("covtype epoch on CPU (Hogwild),{:.1} s", cpu_epoch);
+    println!("ratio,{:.0}x", cpu_epoch / gpu_epoch);
+}

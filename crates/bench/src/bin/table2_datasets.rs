@@ -1,0 +1,43 @@
+//! Table II — dataset statistics.
+//!
+//! Prints the paper's full-size dataset table, then the actual statistics
+//! of the synthetic stand-ins generated at the current `HETERO_SCALE`.
+
+use hetero_bench::Harness;
+use hetero_data::PaperDataset;
+
+fn main() {
+    let h = Harness::default();
+
+    println!("# Table II: datasets (paper, full size)");
+    println!("dataset,examples,features,classes,multilabel,hidden_layers");
+    for p in PaperDataset::all() {
+        let s = p.stats();
+        println!(
+            "{},{},{},{},{},{}",
+            s.name, s.examples, s.features, s.classes, s.multilabel, s.hidden_layers
+        );
+    }
+
+    println!();
+    println!("# generated stand-ins at scale {}", h.scale);
+    println!("dataset,examples,features,classes,sparsity");
+    for p in PaperDataset::all() {
+        let d = h.dataset(p);
+        println!(
+            "{},{},{},{},{:.4}",
+            d.name,
+            d.len(),
+            d.features(),
+            d.num_classes(),
+            d.sparsity()
+        );
+        eprintln!(
+            "{}: {} examples x {} features ({}% of paper examples)",
+            d.name,
+            d.len(),
+            d.features(),
+            (100.0 * d.len() as f64 / p.stats().examples as f64).round()
+        );
+    }
+}

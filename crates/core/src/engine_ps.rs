@@ -1,0 +1,414 @@
+//! Distributed parameter-server comparator (§II, reference \[10\]).
+//!
+//! The paper contrasts its centralized shared-memory architecture with the
+//! distributed parameter-server setting: *"training data are statically
+//! partitioned to workers. Moving data between workers incurs expensive
+//! network traffic and is not viable. Instead, the applied solution uses
+//! different learning rates across workers … the learning rate is computed
+//! based on the number of model updates."*
+//!
+//! This module is that comparator, simulated on the same virtual clock:
+//!
+//! - data is **statically partitioned** across heterogeneous workers
+//!   (no coordinator-side batch reassignment is possible);
+//! - every gradient crosses a **network model** (latency + bandwidth) both
+//!   ways: pull the model, push the gradient — the cost centralized
+//!   CPU+GPU avoids entirely;
+//! - batch sizes are fixed; heterogeneity is handled with **per-worker
+//!   learning rates** `ηᵉ = η · (mean_updates / uᵉ)^p`, throttling workers
+//!   that race ahead (the \[10\]-style compensation).
+//!
+//! Comparing [`PsEngine`] against [`crate::SimEngine`] with
+//! `CpuGpuHogbatch`/`AdaptiveHogbatch` reproduces the paper's argument for
+//! the centralized design.
+
+use hetero_data::{BatchScheduler, DenseDataset};
+use hetero_nn::{loss_and_gradient, Model};
+use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel};
+use serde::{Deserialize, Serialize};
+
+use crate::config::TrainConfig;
+use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
+
+/// Network model between workers and the parameter server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency (seconds).
+    pub latency: f64,
+    /// Link bandwidth (bytes/second).
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// Datacenter-grade 10 GbE defaults.
+    pub fn ten_gbe() -> Self {
+        NetworkModel {
+            latency: 50e-6,
+            bandwidth: 1.25e9,
+        }
+    }
+
+    /// Seconds to move `bytes` one way.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// One parameter-server worker: a device plus its static data shard.
+enum PsDevice {
+    Cpu(CpuModel),
+    Gpu(GpuModel),
+}
+
+impl PsDevice {
+    fn kind(&self) -> WorkerKind {
+        match self {
+            PsDevice::Cpu(_) => WorkerKind::Cpu,
+            PsDevice::Gpu(_) => WorkerKind::Gpu,
+        }
+    }
+
+    fn batch_time(&self, fpe: u64, batch: usize) -> f64 {
+        match self {
+            PsDevice::Cpu(c) => c.batch_time(fpe, batch),
+            PsDevice::Gpu(g) => g.batch_time(fpe, batch),
+        }
+    }
+
+    fn busy_utilization(&self, batch: usize) -> f64 {
+        match self {
+            PsDevice::Cpu(c) => c.busy_utilization(batch),
+            PsDevice::Gpu(g) => g.busy_utilization(batch),
+        }
+    }
+}
+
+/// Parameter-server engine configuration.
+#[derive(Debug, Clone)]
+pub struct PsEngineConfig {
+    /// Network to train.
+    pub spec: hetero_nn::MlpSpec,
+    /// Base hyperparameters (lr, budget, eval cadence; the algorithm field
+    /// is ignored — this engine *is* the algorithm).
+    pub train: TrainConfig,
+    /// Heterogeneous CPU workers (each gets a shard).
+    pub cpu_workers: Vec<CpuModel>,
+    /// Heterogeneous GPU workers (each gets a shard).
+    pub gpu_workers: Vec<GpuModel>,
+    /// Per-worker batch size (static — repartitioning is "not viable").
+    pub batch: usize,
+    /// Worker↔server network.
+    pub network: NetworkModel,
+    /// Exponent `p` of the update-count learning-rate compensation
+    /// (`0` disables it; \[10\] uses update-count-derived rates).
+    pub lr_compensation: f64,
+}
+
+/// Discrete-event parameter-server trainer.
+pub struct PsEngine {
+    cfg: PsEngineConfig,
+}
+
+struct Pending {
+    worker: usize,
+    snapshot: Model,
+    range: (usize, usize),
+}
+
+impl PsEngine {
+    /// Build the engine.
+    pub fn new(cfg: PsEngineConfig) -> Result<Self, String> {
+        cfg.train.validate()?;
+        cfg.spec.validate()?;
+        if cfg.cpu_workers.is_empty() && cfg.gpu_workers.is_empty() {
+            return Err("need at least one worker".into());
+        }
+        if cfg.batch == 0 {
+            return Err("batch must be positive".into());
+        }
+        Ok(PsEngine { cfg })
+    }
+
+    /// Train on `dataset`; shards are contiguous equal splits.
+    pub fn run(&self, dataset: &DenseDataset) -> TrainResult {
+        let cfg = &self.cfg;
+        let spec = &cfg.spec;
+        assert_eq!(dataset.features(), spec.input_dim, "feature width");
+        let devices: Vec<PsDevice> = cfg
+            .cpu_workers
+            .iter()
+            .cloned()
+            .map(PsDevice::Cpu)
+            .chain(cfg.gpu_workers.iter().cloned().map(PsDevice::Gpu))
+            .collect();
+        let w = devices.len();
+        let n = dataset.len();
+        // Static shard boundaries.
+        let shard = |i: usize| -> (usize, usize) { (i * n / w, (i + 1) * n / w) };
+        let mut shard_schedulers: Vec<BatchScheduler> = (0..w)
+            .map(|i| {
+                let (s, e) = shard(i);
+                BatchScheduler::new((e - s).max(1), cfg.train.max_epochs)
+            })
+            .collect();
+
+        let mut model = Model::new(spec.clone(), cfg.train.init, cfg.train.seed);
+        let mut stats: Vec<WorkerStats> = devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
+        let mut queue: EventQueue<Pending> = EventQueue::new();
+        let mut curve: Vec<LossPoint> = Vec::new();
+        let fpe = spec.train_flops_per_example();
+        let grad_bytes = spec.param_bytes();
+        let budget = cfg.train.time_budget;
+        let eval_n = cfg.train.eval_subsample.min(n);
+
+        let eval = |model: &Model, t: f64, epochs: f64, curve: &mut Vec<LossPoint>| {
+            let (x, labels) = dataset.batch(0, eval_n);
+            let pass = hetero_nn::forward(model, &x, true);
+            curve.push(LossPoint {
+                time: t,
+                epochs,
+                loss: hetero_nn::loss(pass.probs(), labels.as_targets(), spec.loss),
+                accuracy: hetero_nn::accuracy(pass.probs(), labels.as_targets()),
+            });
+        };
+        eval(&model, 0.0, 0.0, &mut curve);
+
+        // Kick off: each worker pulls the model (network cost) and starts.
+        let assign = |worker: usize,
+                          model: &Model,
+                          queue: &mut EventQueue<Pending>,
+                          schedulers: &mut [BatchScheduler],
+                          stats: &mut [WorkerStats]| {
+            if queue.now() >= budget {
+                return;
+            }
+            let Some(local) = schedulers[worker].next_batch(cfg.batch) else {
+                return;
+            };
+            if local.is_empty() {
+                return;
+            }
+            let (s0, _) = shard(worker);
+            let range = (s0 + local.start, s0 + local.end);
+            // Pull model + compute + push gradient.
+            let cost = cfg.network.transfer_time(grad_bytes)
+                + devices[worker].batch_time(fpe, range.1 - range.0)
+                + cfg.network.transfer_time(grad_bytes);
+            let start = queue.now();
+            stats[worker].timeline.record(
+                start,
+                start + cost,
+                devices[worker].busy_utilization(range.1 - range.0),
+            );
+            queue.schedule_after(
+                cost,
+                Pending {
+                    worker,
+                    snapshot: model.clone(),
+                    range,
+                },
+            );
+        };
+        for i in 0..w {
+            assign(i, &model, &mut queue, &mut shard_schedulers, &mut stats);
+        }
+
+        let mut last_eval = 0.0f64;
+        let total_served = |ss: &[BatchScheduler]| -> f64 {
+            ss.iter().map(|s| s.examples_served() as f64).sum::<f64>() / n as f64
+        };
+
+        while let Some((t, p)) = queue.pop() {
+            if t > budget {
+                break;
+            }
+            // Gradient on the stale snapshot; server applies it with the
+            // update-count-compensated learning rate.
+            let (x, labels) = dataset.batch(p.range.0, p.range.1);
+            let (_, g) = loss_and_gradient(&p.snapshot, &x, labels.as_targets(), true);
+            let mean_updates = (stats.iter().map(|s| s.updates).sum::<f64>() / w as f64).max(1.0);
+            let own = stats[p.worker].updates.max(1.0);
+            let comp = (mean_updates / own).powf(cfg.lr_compensation);
+            let eta = cfg
+                .train
+                .lr_scaling
+                .eta(cfg.train.lr, p.range.1 - p.range.0)
+                * comp as f32;
+            model.apply_gradient(&g, eta);
+            stats[p.worker].updates += 1.0;
+            stats[p.worker].batches += 1;
+            stats[p.worker].examples += (p.range.1 - p.range.0) as u64;
+
+            if t - last_eval >= cfg.train.eval_interval {
+                last_eval = t;
+                eval(&model, t, total_served(&shard_schedulers), &mut curve);
+            }
+            assign(p.worker, &model, &mut queue, &mut shard_schedulers, &mut stats);
+        }
+        eval(&model, budget, total_served(&shard_schedulers), &mut curve);
+
+        for (i, s) in stats.iter_mut().enumerate() {
+            s.final_batch = cfg.batch.min(shard(i).1 - shard(i).0);
+        }
+        TrainResult {
+            algorithm: "Parameter Server".into(),
+            dataset: dataset.name.clone(),
+            loss_curve: curve,
+            workers: stats,
+            duration: budget,
+            epochs: total_served(&shard_schedulers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgorithmKind;
+    use crate::engine_sim::{SimEngine, SimEngineConfig};
+    use hetero_data::SynthConfig;
+    use hetero_nn::MlpSpec;
+
+    fn hardware() -> (CpuModel, GpuModel) {
+        (
+            CpuModel {
+                name: "ps-cpu".into(),
+                threads: 4,
+                hw_threads: 4,
+                flops_small: 1e9,
+                flops_large: 8e9,
+                batch_half: 8.0,
+                dispatch_overhead: 20e-6,
+                memory: 1 << 30,
+            },
+            GpuModel {
+                name: "ps-gpu".into(),
+                peak_flops: 1e12,
+                occupancy_half_batch: 64.0,
+                launch_overhead: 20e-6,
+                transfer_latency: 5e-6,
+                transfer_bandwidth: 12e9,
+                memory: 1 << 30,
+            },
+        )
+    }
+
+    fn dataset() -> DenseDataset {
+        let mut cfg = SynthConfig::small(600, 10, 2, 3);
+        cfg.separability = 3.0;
+        let mut d = cfg.generate();
+        d.standardize();
+        d
+    }
+
+    fn ps_config(budget: f64, lr_comp: f64) -> PsEngineConfig {
+        let (cpu, gpu) = hardware();
+        PsEngineConfig {
+            spec: MlpSpec::tiny(10, 2),
+            train: TrainConfig {
+                time_budget: budget,
+                eval_interval: budget / 8.0,
+                eval_subsample: 512,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            cpu_workers: vec![cpu],
+            gpu_workers: vec![gpu],
+            batch: 64,
+            network: NetworkModel::ten_gbe(),
+            lr_compensation: lr_comp,
+        }
+    }
+
+    #[test]
+    fn ps_training_converges() {
+        let data = dataset();
+        let r = PsEngine::new(ps_config(0.05, 1.0)).unwrap().run(&data);
+        assert!(r.final_loss() < r.initial_loss(), "{:?}", r.loss_curve.len());
+        assert_eq!(r.algorithm, "Parameter Server");
+        for w in &r.workers {
+            assert!(w.batches > 0, "{:?} starved", w.kind);
+        }
+    }
+
+    #[test]
+    fn static_partitioning_bounds_each_worker_to_its_shard() {
+        // With an epoch cap, each worker serves at most max_epochs passes
+        // over its *own* 300-example shard — the fast GPU cannot steal the
+        // CPU's data the way the centralized coordinator reassigns batches.
+        let data = dataset();
+        let mut cfg = ps_config(10.0, 0.0);
+        cfg.train.max_epochs = Some(2);
+        let r = PsEngine::new(cfg).unwrap().run(&data);
+        for w in &r.workers {
+            assert!(
+                w.examples <= 2 * 300,
+                "{:?} escaped its shard: {} examples",
+                w.kind,
+                w.examples
+            );
+        }
+        // The GPU exhausts its shard; the CPU may not finish in budget.
+        let gpu = r.workers.iter().find(|w| w.kind == WorkerKind::Gpu).unwrap();
+        assert_eq!(gpu.examples, 600, "GPU should finish its 2 shard-epochs");
+    }
+
+    #[test]
+    fn lr_compensation_throttles_fast_worker() {
+        // With p = 1 the racing GPU worker gets a discounted rate; the
+        // updates of the slow CPU worker carry relatively more weight. We
+        // check the mechanism: compensation on ⇒ identical update counts
+        // but different trajectory than compensation off.
+        let data = dataset();
+        let off = PsEngine::new(ps_config(0.05, 0.0)).unwrap().run(&data);
+        let on = PsEngine::new(ps_config(0.05, 1.0)).unwrap().run(&data);
+        assert_eq!(off.workers[0].batches, on.workers[0].batches);
+        assert_eq!(off.workers[1].batches, on.workers[1].batches);
+        assert_ne!(off.final_loss(), on.final_loss());
+    }
+
+    #[test]
+    fn network_costs_slow_ps_below_shared_memory() {
+        // The paper's §II argument: the PS pays 2 model-sized transfers per
+        // batch over the network; centralized CPU+GPU does not. Same
+        // devices, same data ⇒ PS completes fewer epochs per virtual
+        // second.
+        let data = dataset();
+        let ps = PsEngine::new(ps_config(0.05, 1.0)).unwrap().run(&data);
+
+        let (cpu, gpu) = hardware();
+        let shared = SimEngine::new(SimEngineConfig {
+            spec: MlpSpec::tiny(10, 2),
+            train: TrainConfig {
+                algorithm: AlgorithmKind::CpuGpuHogbatch,
+                gpu_batch: 64,
+                cpu_batch_per_thread: 16,
+                time_budget: 0.05,
+                eval_interval: 0.01,
+                eval_subsample: 512,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            cpu: cpu.clone(),
+            gpus: vec![gpu.clone()],
+            tf_op_overhead: 20e-6,
+            tf_multilabel_penalty: 3.0,
+        })
+        .unwrap()
+        .run(&data);
+        assert!(
+            ps.epochs < shared.epochs,
+            "PS ({:.2} epochs) should trail shared memory ({:.2})",
+            ps.epochs,
+            shared.epochs
+        );
+    }
+
+    #[test]
+    fn rejects_empty_worker_set() {
+        let mut cfg = ps_config(0.1, 0.0);
+        cfg.cpu_workers.clear();
+        cfg.gpu_workers.clear();
+        assert!(PsEngine::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,988 @@
+//! Discrete-event training engine.
+//!
+//! Executes any [`AlgorithmKind`] against calibrated device models
+//! ([`hetero_sim::CpuModel`], [`hetero_sim::GpuModel`]) on a **virtual
+//! clock**: every gradient is computed for real on the host, but the
+//! *instant it lands* on the global model is decided by the device
+//! performance models. This captures the two things the paper's evaluation
+//! depends on — the CPU/GPU speed gap and asynchronous staleness (gradients
+//! are computed on the model **snapshot taken at batch-assignment time**
+//! and applied at completion time) — while remaining exactly reproducible.
+//!
+//! Workflow per worker (paper Figure 4):
+//! 1. coordinator computes the worker's batch size (the
+//!    [`AdaptiveController`] is Algorithm 2; static algorithms freeze it),
+//! 2. extracts a contiguous range from the data (the [`BatchScheduler`]),
+//! 3. snapshots the model (reference for CPU, deep copy for GPU — in the
+//!    simulation both are snapshots, but GPU workers additionally pay the
+//!    H2D/D2H transfer cost of a deep copy),
+//! 4. at `now + batch_time`, the gradient(s) computed on the snapshot are
+//!    applied to the live model, update counts are credited, and the worker
+//!    immediately requests more work.
+
+use hetero_data::batch::BatchRange;
+use hetero_data::{BatchScheduler, DenseDataset};
+use hetero_nn::{loss_and_gradient, MlpSpec, Model};
+use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::adaptive::{AdaptiveController, WorkerBatchState};
+use crate::config::{AlgorithmKind, TrainConfig};
+use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
+
+/// Hardware and comparator parameters for a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimEngineConfig {
+    /// Network to train.
+    pub spec: MlpSpec,
+    /// Algorithm + hyperparameters.
+    pub train: TrainConfig,
+    /// Host CPU model.
+    pub cpu: CpuModel,
+    /// GPU models; the paper evaluates with one V100, more are supported
+    /// (the paper's multi-GPU future work).
+    pub gpus: Vec<GpuModel>,
+    /// TensorFlow comparator: per-primitive dispatch overhead (§II —
+    /// "scheduling primitives instead of the complete SGD has more
+    /// overhead").
+    pub tf_op_overhead: f64,
+    /// TensorFlow comparator: slowdown factor on multi-label losses
+    /// (§VII-B: delicious "is much slower in TensorFlow").
+    pub tf_multilabel_penalty: f64,
+}
+
+impl SimEngineConfig {
+    /// Paper hardware: 2×Xeon host + one V100.
+    pub fn paper_hardware(spec: MlpSpec, train: TrainConfig) -> Self {
+        SimEngineConfig {
+            spec,
+            train,
+            cpu: CpuModel::xeon_pair(),
+            gpus: vec![GpuModel::v100()],
+            tf_op_overhead: 20e-6,
+            tf_multilabel_penalty: 3.0,
+        }
+    }
+}
+
+enum Device {
+    Cpu(CpuModel),
+    Gpu(GpuModel),
+}
+
+impl Device {
+    fn kind(&self) -> WorkerKind {
+        match self {
+            Device::Cpu(_) => WorkerKind::Cpu,
+            Device::Gpu(_) => WorkerKind::Gpu,
+        }
+    }
+}
+
+enum Ev {
+    Complete {
+        worker: usize,
+        range: BatchRange,
+        snapshot: Model,
+        /// Global update count when the snapshot was taken — the gradient's
+        /// staleness is measured against this (§VI-B).
+        updates_at_snapshot: u64,
+    },
+    Eval,
+}
+
+/// The discrete-event engine.
+pub struct SimEngine {
+    cfg: SimEngineConfig,
+}
+
+impl SimEngine {
+    /// Build an engine; validates the configuration.
+    pub fn new(cfg: SimEngineConfig) -> Result<Self, String> {
+        cfg.train.validate()?;
+        cfg.spec.validate()?;
+        if cfg.train.algorithm.uses_gpu() && cfg.gpus.is_empty() {
+            return Err("algorithm needs a GPU but none configured".into());
+        }
+        Ok(SimEngine { cfg })
+    }
+
+    /// Train on `dataset`, returning the full metrics record.
+    pub fn run(&self, dataset: &DenseDataset) -> TrainResult {
+        let cfg = &self.cfg;
+        let train = &cfg.train;
+        let algo = train.algorithm;
+        let spec = &cfg.spec;
+        assert_eq!(
+            dataset.features(),
+            spec.input_dim,
+            "dataset features != network input_dim"
+        );
+
+        // --- Devices & workers -------------------------------------------------
+        let mut devices: Vec<Device> = Vec::new();
+        if algo.uses_cpu() {
+            devices.push(Device::Cpu(cfg.cpu.clone()));
+        }
+        if algo.uses_gpu() {
+            for g in &cfg.gpus {
+                devices.push(Device::Gpu(g.clone()));
+            }
+        }
+        let mut stats: Vec<WorkerStats> =
+            devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
+        let mut eval_timeline = UtilizationTimeline::new();
+
+        // --- Batch-size controller ---------------------------------------------
+        let example_bytes = 4 * spec.input_dim as u64;
+        let param_bytes = spec.param_bytes();
+        let mut controller = self.build_controller(&devices, dataset.len(), example_bytes, param_bytes);
+
+        // --- Model, schedule, eval subset --------------------------------------
+        let mut model = Model::new(spec.clone(), train.init, train.seed);
+        let mut scheduler = BatchScheduler::new(dataset.len(), train.max_epochs);
+        let eval_rows = eval_subset(dataset.len(), train.eval_subsample, train.seed);
+        let (eval_x, eval_labels) = gather_rows(dataset, &eval_rows);
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut curve = Vec::new();
+        let mut global_updates: u64 = 0;
+        // Hybrid SVRG anchor: the latest GPU large-batch (model, gradient)
+        // pair — the "compass" CPU updates correct against (§II).
+        let mut anchor: Option<(Model, Model)> = None;
+        let budget = train.time_budget;
+
+        let record_eval = |t: f64,
+                               epochs: f64,
+                               model: &Model,
+                               curve: &mut Vec<LossPoint>,
+                               eval_tl: &mut UtilizationTimeline| {
+            let pass = hetero_nn::forward(model, &eval_x, true);
+            let l = hetero_nn::loss(pass.probs(), eval_labels.as_targets(), model.spec().loss);
+            let acc = hetero_nn::accuracy(pass.probs(), eval_labels.as_targets());
+            curve.push(LossPoint {
+                time: t,
+                epochs,
+                loss: l,
+                accuracy: acc,
+            });
+            // The paper runs the loss evaluation on the GPU at epoch end,
+            // which shows up as a utilization spike (Figure 7). Account it
+            // on a dedicated timeline to avoid perturbing worker schedules.
+            if let Some(g) = self.cfg.gpus.first() {
+                let fwd = model.spec().forward_flops_per_example();
+                let dur = g.batch_time(fwd, eval_x.rows());
+                let start = t.max(eval_tl.horizon());
+                eval_tl.record(start, start + dur, 1.0);
+            }
+        };
+
+        // Initial loss (identical across algorithms per §VII-A).
+        record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
+
+        // --- Kick off every worker ---------------------------------------------
+        for w in 0..devices.len() {
+            self.assign(
+                w,
+                &devices[w],
+                &mut controller,
+                &mut scheduler,
+                &model,
+                &mut queue,
+                &mut stats,
+                budget,
+                global_updates,
+            );
+        }
+        queue.schedule_at(train.eval_interval.min(budget), Ev::Eval);
+
+        let mut last_epoch_evaled = 0usize;
+        let mut last_eval_time = 0.0f64;
+        // Evaluations are throttled so that datasets small enough to finish
+        // an epoch every few events do not flood the curve.
+        let min_eval_spacing = train.eval_interval * 0.25;
+
+        // --- Event loop ---------------------------------------------------------
+        while let Some((t, ev)) = queue.pop() {
+            if t > budget {
+                break;
+            }
+            match ev {
+                Ev::Eval => {
+                    record_eval(
+                        t,
+                        scheduler.epochs_elapsed(),
+                        &model,
+                        &mut curve,
+                        &mut eval_timeline,
+                    );
+                    last_eval_time = t;
+                    let next = t + train.eval_interval;
+                    if next <= budget {
+                        queue.schedule_at(next, Ev::Eval);
+                    }
+                }
+                Ev::Complete {
+                    worker,
+                    range,
+                    snapshot,
+                    updates_at_snapshot,
+                } => {
+                    let staleness = global_updates.saturating_sub(updates_at_snapshot);
+                    global_updates += self.apply_batch(
+                        worker,
+                        &devices[worker],
+                        &range,
+                        &snapshot,
+                        dataset,
+                        &mut model,
+                        &mut controller,
+                        &mut stats,
+                        staleness,
+                        &mut anchor,
+                    );
+                    // Epoch-boundary loss evaluation (paper: "loss
+                    // computation is always performed on the GPU at the
+                    // end of the epoch").
+                    if range.epoch >= last_epoch_evaled
+                        && scheduler.epoch() > range.epoch
+                        && t - last_eval_time >= min_eval_spacing
+                    {
+                        last_epoch_evaled = range.epoch + 1;
+                        last_eval_time = t;
+                        record_eval(
+                            t,
+                            scheduler.epochs_elapsed(),
+                            &model,
+                            &mut curve,
+                            &mut eval_timeline,
+                        );
+                    }
+                    self.assign(
+                        worker,
+                        &devices[worker],
+                        &mut controller,
+                        &mut scheduler,
+                        &model,
+                        &mut queue,
+                        &mut stats,
+                        budget,
+                        global_updates,
+                    );
+                }
+            }
+        }
+
+        // Final loss at the budget boundary.
+        record_eval(
+            budget,
+            scheduler.epochs_elapsed(),
+            &model,
+            &mut curve,
+            &mut eval_timeline,
+        );
+
+        for (w, s) in stats.iter_mut().enumerate() {
+            s.final_batch = controller.batch(w);
+        }
+        let mut result = TrainResult {
+            algorithm: algo.label().to_string(),
+            dataset: dataset.name.clone(),
+            loss_curve: curve,
+            workers: stats,
+            duration: budget,
+            epochs: scheduler.epochs_elapsed(),
+        };
+        // The epoch-end loss evaluations run on the GPU (§VII-B) but must
+        // not perturb the worker schedules, so they live on a dedicated
+        // timeline appended as a zero-update pseudo-worker.
+        result.workers.push(WorkerStats {
+            kind: WorkerKind::Gpu,
+            updates: 0.0,
+            batches: 0,
+            examples: 0,
+            final_batch: 0,
+            timeline: eval_timeline,
+        });
+        result
+    }
+
+    /// Coordinator `ScheduleWork`: compute the batch size, extract a range,
+    /// snapshot the model, and schedule the completion event.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &self,
+        worker: usize,
+        device: &Device,
+        controller: &mut AdaptiveController,
+        scheduler: &mut BatchScheduler,
+        model: &Model,
+        queue: &mut EventQueue<Ev>,
+        stats: &mut [WorkerStats],
+        budget: f64,
+        global_updates: u64,
+    ) {
+        if queue.now() >= budget {
+            return;
+        }
+        let size = controller.on_request(worker);
+        let Some(range) = scheduler.next_batch(size) else {
+            return; // epoch budget exhausted
+        };
+        if range.is_empty() {
+            return;
+        }
+        let cost = self.batch_cost(device, range.len());
+        let start = queue.now();
+        stats[worker].timeline.record(
+            start,
+            start + cost,
+            match device {
+                Device::Cpu(c) => c.busy_utilization(range.len()),
+                Device::Gpu(g) => g.busy_utilization(range.len()),
+            },
+        );
+        queue.schedule_after(
+            cost,
+            Ev::Complete {
+                worker,
+                range,
+                snapshot: model.clone(),
+                updates_at_snapshot: global_updates,
+            },
+        );
+    }
+
+    /// Virtual cost of one batch on a device, including the GPU deep-copy
+    /// replica transfers and the TensorFlow comparator overheads.
+    fn batch_cost(&self, device: &Device, batch: usize) -> f64 {
+        let spec = &self.cfg.spec;
+        let fpe = spec.train_flops_per_example();
+        match device {
+            Device::Cpu(c) => {
+                let t = c.batch_time(fpe, batch);
+                if self.cfg.train.algorithm == AlgorithmKind::HybridSvrg {
+                    // SVRG correction doubles the CPU gradient work:
+                    // ∇f_i(w) and ∇f_i(ŵ) per sub-batch.
+                    2.0 * t
+                } else {
+                    t
+                }
+            }
+            Device::Gpu(g) => {
+                let batch_bytes = (4 * spec.input_dim * batch) as u64;
+                // Deep-copy replica: model in (H2D) + model out (D2H), §VI-B.
+                let model_bytes = spec.param_bytes();
+                let mut t = g.batch_time(fpe, batch)
+                    + g.transfer_time(batch_bytes)
+                    + 2.0 * g.transfer_time(model_bytes);
+                if self.cfg.train.algorithm == AlgorithmKind::TensorFlow {
+                    // Op-granularity scheduling: ~8 primitives per layer
+                    // per step, each paying a dispatch overhead.
+                    let ops = 8.0 * spec.num_layers() as f64;
+                    t += ops * self.cfg.tf_op_overhead;
+                    if spec.loss == hetero_nn::LossKind::MultiLabelBce {
+                        t *= self.cfg.tf_multilabel_penalty;
+                    }
+                }
+                t
+            }
+        }
+    }
+
+    /// `ExecuteWork` completion: compute the gradient(s) on the snapshot
+    /// and apply them to the live model. Returns the number of raw updates
+    /// applied (for global staleness accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_batch(
+        &self,
+        worker: usize,
+        device: &Device,
+        range: &BatchRange,
+        snapshot: &Model,
+        dataset: &DenseDataset,
+        model: &mut Model,
+        controller: &mut AdaptiveController,
+        stats: &mut [WorkerStats],
+        staleness: u64,
+        anchor: &mut Option<(Model, Model)>,
+    ) -> u64 {
+        let train = &self.cfg.train;
+        // §VI-B staleness compensation: discount the learning rate for
+        // gradients computed on an old snapshot.
+        let discount = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
+        match device {
+            Device::Cpu(c) => {
+                // Algorithm 2 CPU worker: split into t sub-batches, one
+                // Hogwild update each, all computed on the snapshot
+                // (maximum intra-batch staleness — the conservative model).
+                let t = c.threads;
+                let total = range.len();
+                let sub = total.div_ceil(t);
+                let sub_ranges: Vec<(usize, usize)> = (0..t)
+                    .map(|i| {
+                        let s = range.start + i * sub;
+                        let e = (s + sub).min(range.end);
+                        (s, e.max(s))
+                    })
+                    .filter(|(s, e)| e > s)
+                    .collect();
+                let svrg_anchor = if train.algorithm == AlgorithmKind::HybridSvrg {
+                    anchor.as_ref()
+                } else {
+                    None
+                };
+                // Hogwild threads read the live model *during* their
+                // sub-batch, so the effective staleness is far finer than
+                // one whole coordinator batch. Model that by processing the
+                // sub-batches in waves: each wave's gradients are computed
+                // on the model as updated by the previous waves (the first
+                // wave sees the batch snapshot), bounding the intra-batch
+                // divergence by a wave rather than the full batch.
+                const WAVE: usize = 8;
+                let mut n_updates = 0usize;
+                let mut base = snapshot.clone();
+                for wave in sub_ranges.chunks(WAVE) {
+                    let grads: Vec<(usize, hetero_nn::Gradient)> = wave
+                        .par_iter()
+                        .map(|&(s, e)| {
+                            let (x, labels) = dataset.batch(s, e);
+                            let (_, g_live) =
+                                loss_and_gradient(&base, &x, labels.as_targets(), false);
+                            let g = match svrg_anchor {
+                                Some((anchor_model, mu)) => {
+                                    // SVRG-corrected direction against the
+                                    // most recent GPU anchor:
+                                    // ∇f_i(w) − ∇f_i(ŵ) + μ̂.
+                                    let (_, g_anchor) = loss_and_gradient(
+                                        anchor_model,
+                                        &x,
+                                        labels.as_targets(),
+                                        false,
+                                    );
+                                    let mut dir = g_live;
+                                    dir.scaled_add(&g_anchor, -1.0);
+                                    dir.scaled_add(mu, 1.0);
+                                    dir
+                                }
+                                None => g_live,
+                            };
+                            (e - s, g)
+                        })
+                        .collect();
+                    n_updates += grads.len();
+                    for (len, mut g) in grads {
+                        let eta = train.lr_scaling.eta(train.lr, len) * discount;
+                        if let Some(c) = train.grad_clip {
+                            g.clip_to_norm(c);
+                        }
+                        if train.weight_decay > 0.0 {
+                            model.scale(1.0 - eta * train.weight_decay);
+                        }
+                        model.apply_gradient(&g, eta);
+                    }
+                    base = model.clone();
+                }
+                let credited = n_updates as f64 * train.adaptive.beta;
+                controller.report_updates(worker, credited);
+                stats[worker].updates += credited;
+                stats[worker].batches += 1;
+                stats[worker].examples += total as u64;
+                n_updates as u64
+            }
+            Device::Gpu(_) => {
+                let (x, labels) = dataset.batch(range.start, range.end);
+                let (_, mut g) = loss_and_gradient(snapshot, &x, labels.as_targets(), true);
+                if let Some(c) = train.grad_clip {
+                    g.clip_to_norm(c);
+                }
+                let eta = train.lr_scaling.eta(train.lr, range.len()) * discount;
+                if train.weight_decay > 0.0 {
+                    model.scale(1.0 - eta * train.weight_decay);
+                }
+                model.apply_gradient(&g, eta);
+                if train.algorithm == AlgorithmKind::HybridSvrg {
+                    // The accurate large-batch gradient becomes the new
+                    // variance-reduction anchor for CPU workers.
+                    *anchor = Some((snapshot.clone(), g));
+                }
+                controller.report_updates(worker, 1.0);
+                stats[worker].updates += 1.0;
+                stats[worker].batches += 1;
+                stats[worker].examples += range.len() as u64;
+                1
+            }
+        }
+    }
+
+    /// Build the per-algorithm batch-size controller.
+    fn build_controller(
+        &self,
+        devices: &[Device],
+        n: usize,
+        example_bytes: u64,
+        param_bytes: u64,
+    ) -> AdaptiveController {
+        let train = &self.cfg.train;
+        let p = &train.adaptive;
+        let adapt = train.algorithm.is_adaptive();
+        // Omnivore-style sizing (§II): pick the CPU batch so that, per the
+        // *pre-execution estimate*, the CPU finishes a batch in the same
+        // time the GPU takes for its configured batch. Computed once here
+        // and frozen thereafter — exactly the criticism the paper levels.
+        let proportional_cpu_batch = |c: &CpuModel| -> usize {
+            let fpe = self.cfg.spec.train_flops_per_example();
+            let t_gpu = self
+                .cfg
+                .gpus
+                .first()
+                .map(|g| g.batch_time(fpe, train.gpu_batch.min(n.max(1))))
+                .unwrap_or(0.0);
+            let mut b = c.threads.max(1);
+            while b < n.max(1) && c.batch_time(fpe, b * 2) <= t_gpu {
+                b *= 2;
+            }
+            b.min(n.max(1))
+        };
+        let states: Vec<WorkerBatchState> = devices
+            .iter()
+            .map(|d| match d {
+                Device::Cpu(c) => {
+                    if adapt {
+                        // Paper: CPU starts at the lower threshold
+                        // (1 example per thread = Hogwild).
+                        let min_b = p.cpu_min_batch.max(c.threads).min(n.max(1));
+                        let max_b = p.cpu_max_batch.max(min_b);
+                        WorkerBatchState::new(min_b, min_b, max_b)
+                    } else if train.algorithm == AlgorithmKind::StaticProportional {
+                        let b = proportional_cpu_batch(c).max(1);
+                        WorkerBatchState::new(b, b, b)
+                    } else {
+                        let b = (train.cpu_batch_per_thread * c.threads).min(n.max(1)).max(1);
+                        WorkerBatchState::new(b, b, b)
+                    }
+                }
+                Device::Gpu(g) => {
+                    // §VI-B: device memory bounds the batch size.
+                    let mem_cap = g
+                        .max_batch(example_bytes + 8 * self.cfg.spec.hidden.iter().sum::<usize>() as u64, param_bytes)
+                        .max(1);
+                    if adapt {
+                        let max_b = p.gpu_max_batch.min(mem_cap).max(1);
+                        let min_b = p.gpu_min_batch.min(max_b).max(1);
+                        // Paper: GPU starts at the upper threshold.
+                        WorkerBatchState::new(max_b, min_b, max_b)
+                    } else {
+                        let b = train.gpu_batch.min(mem_cap).max(1);
+                        WorkerBatchState::new(b, b, b)
+                    }
+                }
+            })
+            .collect();
+        AdaptiveController::new(p.alpha, adapt, states)
+    }
+}
+
+/// Deterministic evaluation subset: `k` rows sampled without replacement.
+fn eval_subset(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(n);
+    let mut rows: Vec<usize> = (0..n).collect();
+    rows.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xe7a1));
+    rows.truncate(k);
+    rows.sort_unstable();
+    rows
+}
+
+/// Gather scattered rows into a dense eval batch.
+fn gather_rows(
+    dataset: &DenseDataset,
+    rows: &[usize],
+) -> (hetero_tensor::Matrix, hetero_data::Labels) {
+    let d = dataset.features();
+    let mut x = hetero_tensor::Matrix::zeros(rows.len(), d);
+    for (i, &r) in rows.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(dataset.x.row(r));
+    }
+    let labels = match &dataset.labels {
+        hetero_data::Labels::Classes(v) => {
+            hetero_data::Labels::Classes(rows.iter().map(|&r| v[r]).collect())
+        }
+        hetero_data::Labels::MultiHot(m) => {
+            let mut y = hetero_tensor::Matrix::zeros(rows.len(), m.cols());
+            for (i, &r) in rows.iter().enumerate() {
+                y.row_mut(i).copy_from_slice(m.row(r));
+            }
+            hetero_data::Labels::MultiHot(y)
+        }
+    };
+    (x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdaptiveParams, LrScaling};
+    use hetero_data::SynthConfig;
+
+    /// Small hardware so tests run fast: 4-thread CPU, toy GPU 100× faster.
+    fn tiny_hardware() -> (CpuModel, GpuModel) {
+        let cpu = CpuModel {
+            name: "tiny-cpu".into(),
+            threads: 4,
+            hw_threads: 4,
+            flops_small: 1e9,
+            flops_large: 8e9,
+            batch_half: 8.0,
+            dispatch_overhead: 20e-6,
+            memory: 1 << 30,
+        };
+        let gpu = GpuModel {
+            name: "tiny-gpu".into(),
+            peak_flops: 1e12,
+            occupancy_half_batch: 64.0,
+            launch_overhead: 20e-6,
+            transfer_latency: 5e-6,
+            transfer_bandwidth: 12e9,
+            memory: 1 << 30,
+        };
+        (cpu, gpu)
+    }
+
+    fn tiny_config(algo: AlgorithmKind, budget: f64) -> SimEngineConfig {
+        let (cpu, gpu) = tiny_hardware();
+        let spec = MlpSpec::tiny(10, 2);
+        let train = TrainConfig {
+            init: hetero_nn::InitScheme::Xavier,
+            algorithm: algo,
+            lr: 0.05,
+            lr_scaling: LrScaling::Sqrt {
+                ref_batch: 1,
+                max_lr: 0.5,
+            },
+            cpu_batch_per_thread: 1,
+            gpu_batch: 256,
+            adaptive: AdaptiveParams {
+                alpha: 2.0,
+                beta: 1.0,
+                cpu_min_batch: 4,
+                cpu_max_batch: 256,
+                gpu_min_batch: 32,
+                gpu_max_batch: 256,
+            },
+            time_budget: budget,
+            max_epochs: None,
+            grad_clip: None,
+            weight_decay: 0.0,
+            staleness_discount: 0.0,
+            eval_interval: budget / 10.0,
+            eval_subsample: 256,
+            seed: 7,
+        };
+        SimEngineConfig {
+            spec,
+            train,
+            cpu,
+            gpus: vec![gpu],
+            tf_op_overhead: 20e-6,
+            tf_multilabel_penalty: 3.0,
+        }
+    }
+
+    fn tiny_dataset() -> DenseDataset {
+        let mut cfg = SynthConfig::small(600, 10, 2, 3);
+        cfg.separability = 3.0;
+        let mut d = cfg.generate();
+        d.standardize();
+        d
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.02);
+        let r1 = SimEngine::new(cfg.clone()).unwrap().run(&data);
+        let r2 = SimEngine::new(cfg).unwrap().run(&data);
+        assert_eq!(r1.loss_curve.len(), r2.loss_curve.len());
+        for (a, b) in r1.loss_curve.iter().zip(&r2.loss_curve) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.time, b.time);
+        }
+        assert_eq!(r1.total_updates(), r2.total_updates());
+    }
+
+    #[test]
+    fn every_algorithm_reduces_loss() {
+        let data = tiny_dataset();
+        for algo in AlgorithmKind::all() {
+            let budget = if algo == AlgorithmKind::HogwildCpu { 0.1 } else { 0.05 };
+            let cfg = tiny_config(algo, budget);
+            let r = SimEngine::new(cfg).unwrap().run(&data);
+            assert!(
+                r.final_loss() < r.initial_loss(),
+                "{}: {} -> {}",
+                algo.label(),
+                r.initial_loss(),
+                r.final_loss()
+            );
+            assert!(r.loss_curve.iter().all(|p| p.loss.is_finite()));
+        }
+    }
+
+    #[test]
+    fn gpu_only_algorithms_have_no_cpu_updates() {
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::MiniBatchGpu, 0.02))
+            .unwrap()
+            .run(&data);
+        assert_eq!(r.cpu_update_fraction(), 0.0);
+        assert!(r.total_updates() > 0.0);
+    }
+
+    #[test]
+    fn cpu_only_algorithm_has_only_cpu_updates() {
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::HogwildCpu, 0.05))
+            .unwrap()
+            .run(&data);
+        assert_eq!(r.cpu_update_fraction(), 1.0);
+    }
+
+    #[test]
+    fn cpu_gpu_hogbatch_cpu_dominates_updates() {
+        // Figure 8: with static small CPU / large GPU batches, CPU updates
+        // dominate (many cheap sub-updates vs few big batches).
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05))
+            .unwrap()
+            .run(&data);
+        assert!(
+            r.cpu_update_fraction() > 0.5,
+            "cpu fraction {}",
+            r.cpu_update_fraction()
+        );
+    }
+
+    #[test]
+    fn adaptive_balances_updates_vs_static() {
+        let data = tiny_dataset();
+        let stat = SimEngine::new(tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05))
+            .unwrap()
+            .run(&data);
+        let adap = SimEngine::new(tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.05))
+            .unwrap()
+            .run(&data);
+        // Adaptive moves the distribution toward uniform (Figure 8).
+        let d_static = (stat.cpu_update_fraction() - 0.5).abs();
+        let d_adaptive = (adap.cpu_update_fraction() - 0.5).abs();
+        assert!(
+            d_adaptive <= d_static + 0.05,
+            "adaptive {} static {}",
+            adap.cpu_update_fraction(),
+            stat.cpu_update_fraction()
+        );
+    }
+
+    #[test]
+    fn adaptive_gpu_batch_shrinks_below_max() {
+        // Figure 7: the adaptive GPU batch decreases toward the lower
+        // threshold, reducing utilization.
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.05))
+            .unwrap()
+            .run(&data);
+        let gpu = r
+            .workers
+            .iter()
+            .find(|w| w.kind == WorkerKind::Gpu && w.batches > 0)
+            .expect("gpu worker");
+        assert!(
+            gpu.final_batch < 256,
+            "gpu batch stayed at max ({})",
+            gpu.final_batch
+        );
+    }
+
+    #[test]
+    fn tf_slower_than_plain_gpu_per_epoch() {
+        let data = tiny_dataset();
+        let gpu = SimEngine::new(tiny_config(AlgorithmKind::MiniBatchGpu, 0.02))
+            .unwrap()
+            .run(&data);
+        let tf = SimEngine::new(tiny_config(AlgorithmKind::TensorFlow, 0.02))
+            .unwrap()
+            .run(&data);
+        assert!(
+            tf.epochs < gpu.epochs,
+            "TF epochs {} !< GPU epochs {}",
+            tf.epochs,
+            gpu.epochs
+        );
+    }
+
+    #[test]
+    fn utilization_timelines_recorded() {
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.02))
+            .unwrap()
+            .run(&data);
+        for w in &r.workers {
+            if w.batches > 0 {
+                assert!(w.timeline.busy_time() > 0.0, "{:?} has empty timeline", w.kind);
+                // Busy time cannot exceed the run duration.
+                assert!(w.timeline.horizon() <= r.duration * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_curve_time_monotone() {
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.03))
+            .unwrap()
+            .run(&data);
+        for pair in r.loss_curve.windows(2) {
+            assert!(pair[1].time >= pair[0].time);
+            assert!(pair[1].epochs >= pair[0].epochs);
+        }
+        assert!(r.loss_curve.len() >= 3);
+    }
+
+    #[test]
+    fn max_epochs_caps_training() {
+        let data = tiny_dataset();
+        let mut cfg = tiny_config(AlgorithmKind::MiniBatchGpu, 10.0);
+        cfg.train.max_epochs = Some(2);
+        let r = SimEngine::new(cfg).unwrap().run(&data);
+        assert!(r.epochs <= 2.01, "epochs {}", r.epochs);
+    }
+
+    #[test]
+    fn rejects_gpu_algorithm_without_gpu() {
+        let mut cfg = tiny_config(AlgorithmKind::MiniBatchGpu, 1.0);
+        cfg.gpus.clear();
+        assert!(SimEngine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn static_proportional_solves_for_equal_batch_times() {
+        // Omnivore-style sizing: the engine must pick the largest
+        // power-of-two-scaled CPU batch whose estimated time still fits
+        // within the GPU's batch time, frozen for the whole run.
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::StaticProportional, 0.05);
+        // Replicate the solve with the same models.
+        let fpe = cfg.spec.train_flops_per_example();
+        let t_gpu = cfg.gpus[0].batch_time(fpe, cfg.train.gpu_batch.min(data.len()));
+        let mut expected = cfg.cpu.threads;
+        while expected < data.len() && cfg.cpu.batch_time(fpe, expected * 2) <= t_gpu {
+            expected *= 2;
+        }
+        let r = SimEngine::new(cfg.clone()).unwrap().run(&data);
+        assert!(r.final_loss() < r.initial_loss());
+        let cpu = r
+            .workers
+            .iter()
+            .find(|w| w.kind == WorkerKind::Cpu)
+            .unwrap();
+        let gpu = r
+            .workers
+            .iter()
+            .find(|w| w.kind == WorkerKind::Gpu && w.batches > 0)
+            .unwrap();
+        assert!(cpu.batches > 0 && gpu.batches > 0);
+        assert_eq!(
+            cpu.final_batch,
+            expected.min(data.len()),
+            "proportional solve mismatch"
+        );
+        // Maximality: doubling the chosen batch would overshoot the GPU's
+        // time (unless already capped by the dataset). The floor of one
+        // example per thread may itself exceed t_gpu — that is allowed.
+        if cpu.final_batch * 2 <= data.len() {
+            assert!(
+                cfg.cpu.batch_time(fpe, cpu.final_batch * 2) > t_gpu,
+                "solve was not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_discount_shrinks_stale_steps() {
+        // With a huge κ every stale gradient is nearly nulled; training
+        // still runs, stays finite, and makes less progress than κ = 0.
+        let data = tiny_dataset();
+        let base = SimEngine::new(tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05))
+            .unwrap()
+            .run(&data);
+        let mut cfg = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05);
+        cfg.train.staleness_discount = 1000.0;
+        let damped = SimEngine::new(cfg).unwrap().run(&data);
+        assert!(damped.final_loss().is_finite());
+        assert!(
+            damped.final_loss() >= base.final_loss(),
+            "huge staleness discount should not speed up convergence: {} vs {}",
+            damped.final_loss(),
+            base.final_loss()
+        );
+        // And it should visibly slow progress relative to no discount.
+        assert!(
+            damped.final_loss() > base.final_loss() * 1.01
+                || damped.initial_loss() - damped.final_loss()
+                    < (base.initial_loss() - base.final_loss()) * 0.9,
+            "discount had no visible effect"
+        );
+    }
+
+    #[test]
+    fn hybrid_svrg_converges_and_uses_anchors() {
+        let data = tiny_dataset();
+        let r = SimEngine::new(tiny_config(AlgorithmKind::HybridSvrg, 0.05))
+            .unwrap()
+            .run(&data);
+        assert!(
+            r.final_loss() < r.initial_loss(),
+            "{} -> {}",
+            r.initial_loss(),
+            r.final_loss()
+        );
+        // Both worker kinds participate (GPU provides anchors, CPU the
+        // corrected walk).
+        let frac = r.cpu_update_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "cpu fraction {frac}");
+        assert!(r.loss_curve.iter().all(|p| p.loss.is_finite()));
+    }
+
+    #[test]
+    fn hybrid_svrg_cpu_batches_cost_double() {
+        // The SVRG correction doubles CPU gradient work; the virtual cost
+        // model must reflect it.
+        let cfg_plain = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05);
+        let cfg_svrg = tiny_config(AlgorithmKind::HybridSvrg, 0.05);
+        let e_plain = SimEngine::new(cfg_plain).unwrap();
+        let e_svrg = SimEngine::new(cfg_svrg).unwrap();
+        let cpu = Device::Cpu(tiny_hardware().0);
+        let t_plain = e_plain.batch_cost(&cpu, 64);
+        let t_svrg = e_svrg.batch_cost(&cpu, 64);
+        assert!((t_svrg - 2.0 * t_plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_gpu_workers_supported() {
+        // The paper's future work: scale to multi-GPU.
+        let data = tiny_dataset();
+        let mut cfg = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.02);
+        let g = cfg.gpus[0].clone();
+        cfg.gpus.push(g);
+        let r = SimEngine::new(cfg).unwrap().run(&data);
+        let gpu_workers = r
+            .workers
+            .iter()
+            .filter(|w| w.kind == WorkerKind::Gpu && w.batches > 0)
+            .count();
+        assert_eq!(gpu_workers, 2);
+        assert!(r.final_loss() < r.initial_loss());
+    }
+}

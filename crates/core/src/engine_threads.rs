@@ -1,0 +1,557 @@
+//! Real-thread training engine — the paper's implementation architecture
+//! on actual OS threads.
+//!
+//! One coordinator plus one stand-alone worker thread per device,
+//! communicating over the custom asynchronous message queue
+//! ([`hetero_mq::channel()`]); the global model is a
+//! [`hetero_nn::SharedModel`] that CPU threads update Hogwild-style (racy
+//! read–modify–write) while the GPU worker trains a deep-copy replica on
+//! the software GPU ([`hetero_gpu::GpuDevice`]) and merges the delta back.
+//!
+//! This engine runs on wall-clock time and real concurrency — it
+//! demonstrates that the algorithms are implementable exactly as §V
+//! describes. The deterministic counterpart for reproducing the paper's
+//! figures is [`crate::engine_sim::SimEngine`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetero_data::batch::BatchRange;
+use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_gpu::{GpuDevice, GpuMlp};
+use hetero_mq::{channel, Receiver, RecvTimeoutError, Sender};
+use hetero_nn::{loss_and_gradient, MlpSpec, Model, SharedModel};
+use hetero_sim::{DeviceModel, GpuModel};
+
+use crate::adaptive::{AdaptiveController, WorkerBatchState};
+use crate::config::{AlgorithmKind, TrainConfig};
+use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
+
+/// Configuration of the threaded engine.
+#[derive(Debug, Clone)]
+pub struct ThreadedEngineConfig {
+    /// Network to train.
+    pub spec: MlpSpec,
+    /// Algorithm + hyperparameters. `time_budget` is wall-clock seconds.
+    pub train: TrainConfig,
+    /// Hogwild threads inside the CPU worker.
+    pub cpu_threads: usize,
+    /// Performance model for the software GPU (memory bound + occupancy).
+    pub gpu_perf: GpuModel,
+    /// Number of GPU workers to spawn (the paper's future work is scaling
+    /// to multi-GPU; each worker gets its own software device + replica).
+    pub gpu_workers: usize,
+}
+
+#[derive(Debug)]
+enum CoordMsg {
+    Execute(BatchRange),
+    Stop,
+}
+
+struct Ready {
+    worker: usize,
+    updates: f64,
+    examples: u64,
+    busy_start: f64,
+    busy_end: f64,
+    batch: usize,
+}
+
+/// The wall-clock engine.
+pub struct ThreadedEngine {
+    cfg: ThreadedEngineConfig,
+}
+
+impl ThreadedEngine {
+    /// Build the engine; the TensorFlow comparator only exists in the
+    /// simulation engine and is rejected here.
+    pub fn new(cfg: ThreadedEngineConfig) -> Result<Self, String> {
+        cfg.train.validate()?;
+        cfg.spec.validate()?;
+        if matches!(
+            cfg.train.algorithm,
+            AlgorithmKind::TensorFlow | AlgorithmKind::HybridSvrg
+        ) {
+            return Err(format!(
+                "{} is simulation-only",
+                cfg.train.algorithm.label()
+            ));
+        }
+        if cfg.cpu_threads == 0 {
+            return Err("cpu_threads must be positive".into());
+        }
+        if cfg.train.algorithm.uses_gpu() && cfg.gpu_workers == 0 {
+            return Err("algorithm needs a GPU but gpu_workers is 0".into());
+        }
+        Ok(ThreadedEngine { cfg })
+    }
+
+    /// Train on `dataset` until the wall-clock budget expires.
+    pub fn run(&self, dataset: Arc<DenseDataset>) -> TrainResult {
+        let cfg = &self.cfg;
+        let train = cfg.train.clone();
+        let algo = train.algorithm;
+        let spec = cfg.spec.clone();
+        assert_eq!(dataset.features(), spec.input_dim, "feature width");
+
+        let init = Model::new(spec.clone(), train.init, train.seed);
+        let shared = Arc::new(SharedModel::new(&init));
+        let t0 = Instant::now();
+
+        // Worker slots: CPU first (if used), then GPU.
+        let mut kinds = Vec::new();
+        if algo.uses_cpu() {
+            kinds.push(WorkerKind::Cpu);
+        }
+        if algo.uses_gpu() {
+            for _ in 0..cfg.gpu_workers.max(1) {
+                kinds.push(WorkerKind::Gpu);
+            }
+        }
+
+        let (ready_tx, ready_rx) = channel::<Ready>();
+        let mut exec_txs: Vec<Sender<CoordMsg>> = Vec::new();
+        let mut handles = Vec::new();
+        for (slot, kind) in kinds.iter().enumerate() {
+            let (tx, rx) = channel::<CoordMsg>();
+            exec_txs.push(tx);
+            let h = match kind {
+                WorkerKind::Cpu => self.spawn_cpu_worker(
+                    slot,
+                    Arc::clone(&dataset),
+                    Arc::clone(&shared),
+                    rx,
+                    ready_tx.clone(),
+                    t0,
+                    train.clone(),
+                ),
+                WorkerKind::Gpu => self.spawn_gpu_worker(
+                    slot,
+                    Arc::clone(&dataset),
+                    Arc::clone(&shared),
+                    rx,
+                    ready_tx.clone(),
+                    t0,
+                    train.clone(),
+                ),
+            };
+            handles.push(h);
+        }
+        drop(ready_tx);
+
+        // --- Coordinator loop ---------------------------------------------------
+        let mut stats: Vec<WorkerStats> = kinds.iter().map(|k| WorkerStats::new(*k)).collect();
+        let mut controller = self.build_controller(&kinds, dataset.len());
+        let mut scheduler = BatchScheduler::new(dataset.len(), train.max_epochs);
+        let mut curve: Vec<LossPoint> = Vec::new();
+        let eval_n = train.eval_subsample.min(dataset.len());
+
+        let eval = |shared: &SharedModel, scheduler: &BatchScheduler, t0: Instant| -> LossPoint {
+            let model = shared.snapshot();
+            let (x, labels) = dataset.batch(0, eval_n);
+            let pass = hetero_nn::forward(&model, &x, true);
+            LossPoint {
+                time: t0.elapsed().as_secs_f64(),
+                epochs: scheduler.epochs_elapsed(),
+                loss: hetero_nn::loss(pass.probs(), labels.as_targets(), spec.loss),
+                accuracy: hetero_nn::accuracy(pass.probs(), labels.as_targets()),
+            }
+        };
+        curve.push(eval(&shared, &scheduler, t0));
+
+        let budget = Duration::from_secs_f64(train.time_budget);
+        let mut active = vec![true; kinds.len()];
+        // Kick off every worker.
+        for w in 0..kinds.len() {
+            let size = controller.on_request(w);
+            match scheduler.next_batch(size) {
+                Some(range) if !range.is_empty() => {
+                    exec_txs[w].send(CoordMsg::Execute(range)).expect("worker alive");
+                }
+                _ => {
+                    let _ = exec_txs[w].send(CoordMsg::Stop);
+                    active[w] = false;
+                }
+            }
+        }
+        let mut next_eval = Duration::from_secs_f64(train.eval_interval);
+
+        while active.iter().any(|&a| a) {
+            let now = t0.elapsed();
+            if now >= next_eval {
+                curve.push(eval(&shared, &scheduler, t0));
+                next_eval += Duration::from_secs_f64(train.eval_interval);
+                continue;
+            }
+            let wait = (next_eval - now).min(Duration::from_millis(50));
+            match ready_rx.recv_timeout(wait) {
+                Ok(r) => {
+                    controller.report_updates(r.worker, r.updates);
+                    let s = &mut stats[r.worker];
+                    s.updates += r.updates;
+                    s.batches += 1;
+                    s.examples += r.examples;
+                    let level = match s.kind {
+                        WorkerKind::Cpu => {
+                            (r.batch.min(self.cfg.cpu_threads) as f64)
+                                / self.cfg.cpu_threads as f64
+                        }
+                        WorkerKind::Gpu => self.cfg.gpu_perf.busy_utilization(r.batch),
+                    };
+                    // Wall-clock segments from a racing worker can jitter;
+                    // clamp monotonic.
+                    let start = r.busy_start.max(s.timeline.horizon());
+                    let end = r.busy_end.max(start);
+                    s.timeline.record(start, end, level);
+
+                    if t0.elapsed() < budget {
+                        let size = controller.on_request(r.worker);
+                        match scheduler.next_batch(size) {
+                            Some(range) if !range.is_empty() => {
+                                exec_txs[r.worker]
+                                    .send(CoordMsg::Execute(range))
+                                    .expect("worker alive");
+                            }
+                            _ => {
+                                let _ = exec_txs[r.worker].send(CoordMsg::Stop);
+                                active[r.worker] = false;
+                            }
+                        }
+                    } else {
+                        let _ = exec_txs[r.worker].send(CoordMsg::Stop);
+                        active[r.worker] = false;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        curve.push(eval(&shared, &scheduler, t0));
+
+        for (w, s) in stats.iter_mut().enumerate() {
+            s.final_batch = controller.batch(w);
+        }
+        TrainResult {
+            algorithm: algo.label().to_string(),
+            dataset: dataset.name.clone(),
+            loss_curve: curve,
+            workers: stats,
+            duration: t0.elapsed().as_secs_f64(),
+            epochs: scheduler.epochs_elapsed(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_cpu_worker(
+        &self,
+        slot: usize,
+        dataset: Arc<DenseDataset>,
+        shared: Arc<SharedModel>,
+        rx: Receiver<CoordMsg>,
+        tx: Sender<Ready>,
+        t0: Instant,
+        train: TrainConfig,
+    ) -> std::thread::JoinHandle<()> {
+        let threads = self.cfg.cpu_threads;
+        std::thread::Builder::new()
+            .name(format!("cpu-worker-{slot}"))
+            .spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .thread_name(|i| format!("hogwild-{i}"))
+                    .build()
+                    .expect("cpu worker pool");
+                while let Ok(msg) = rx.recv() {
+                    let range = match msg {
+                        CoordMsg::Execute(r) => r,
+                        CoordMsg::Stop => break,
+                    };
+                    let busy_start = t0.elapsed().as_secs_f64();
+                    let total = range.len();
+                    let sub = total.div_ceil(threads);
+                    let sub_ranges: Vec<(usize, usize)> = (0..threads)
+                        .map(|i| {
+                            let s = range.start + i * sub;
+                            (s, (s + sub).min(range.end))
+                        })
+                        .filter(|(s, e)| e > s)
+                        .collect();
+                    let n_updates = sub_ranges.len();
+                    // Each Hogwild lane: read the live shared model (racy
+                    // snapshot), compute its sub-gradient, apply racily.
+                    pool.install(|| {
+                        use rayon::prelude::*;
+                        sub_ranges.par_iter().for_each(|&(s, e)| {
+                            let local = shared.snapshot();
+                            let (x, labels) = dataset.batch(s, e);
+                            let (_, mut g) =
+                                loss_and_gradient(&local, &x, labels.as_targets(), false);
+                            if let Some(c) = train.grad_clip {
+                                g.clip_to_norm(c);
+                            }
+                            let eta = train.lr_scaling.eta(train.lr, e - s);
+                            shared.apply_gradient_racy(&g, eta);
+                        });
+                    });
+                    let busy_end = t0.elapsed().as_secs_f64();
+                    if tx
+                        .send(Ready {
+                            worker: slot,
+                            updates: n_updates as f64 * train.adaptive.beta,
+                            examples: total as u64,
+                            busy_start,
+                            busy_end,
+                            batch: total,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn cpu worker")
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_gpu_worker(
+        &self,
+        slot: usize,
+        dataset: Arc<DenseDataset>,
+        shared: Arc<SharedModel>,
+        rx: Receiver<CoordMsg>,
+        tx: Sender<Ready>,
+        t0: Instant,
+        train: TrainConfig,
+    ) -> std::thread::JoinHandle<()> {
+        let perf = self.cfg.gpu_perf.clone();
+        std::thread::Builder::new()
+            .name(format!("gpu-worker-{slot}"))
+            .spawn(move || {
+                let device = GpuDevice::new(perf);
+                let base = shared.snapshot();
+                let mut mlp = match GpuMlp::upload(&device, &base) {
+                    Ok(m) => m,
+                    Err(e) => panic!("model does not fit on device: {e}"),
+                };
+                while let Ok(msg) = rx.recv() {
+                    let range = match msg {
+                        CoordMsg::Execute(r) => r,
+                        CoordMsg::Stop => break,
+                    };
+                    let busy_start = t0.elapsed().as_secs_f64();
+                    // Deep-copy replica of the current global model (§V).
+                    let updates_at_snapshot = shared.update_count();
+                    let snapshot = shared.snapshot();
+                    mlp.refresh(&snapshot);
+                    let (x, labels) = dataset.batch(range.start, range.end);
+                    let eta = train.lr_scaling.eta(train.lr, range.len());
+                    mlp.train_step(&x, labels.as_targets(), eta)
+                        .expect("device OOM during training step");
+                    // Merge the replica's delta into the global model
+                    // without clobbering concurrent CPU updates. §VI-B:
+                    // the delta is discounted by how stale its base
+                    // snapshot became while the device was computing.
+                    let staleness =
+                        shared.update_count().saturating_sub(updates_at_snapshot);
+                    let scale =
+                        1.0 / (1.0 + train.staleness_discount * staleness as f32);
+                    let replica = mlp.download();
+                    shared.merge_delta_scaled(&snapshot, &replica, scale);
+                    let busy_end = t0.elapsed().as_secs_f64();
+                    if tx
+                        .send(Ready {
+                            worker: slot,
+                            updates: 1.0,
+                            examples: range.len() as u64,
+                            busy_start,
+                            busy_end,
+                            batch: range.len(),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                mlp.destroy();
+            })
+            .expect("spawn gpu worker")
+    }
+
+    fn build_controller(&self, kinds: &[WorkerKind], n: usize) -> AdaptiveController {
+        let train = &self.cfg.train;
+        let p = &train.adaptive;
+        let adapt = train.algorithm.is_adaptive();
+        let states = kinds
+            .iter()
+            .map(|k| match k {
+                WorkerKind::Cpu => {
+                    if adapt {
+                        let min_b = p.cpu_min_batch.max(self.cfg.cpu_threads).min(n.max(1));
+                        WorkerBatchState::new(min_b, min_b, p.cpu_max_batch.max(min_b))
+                    } else {
+                        let b = (train.cpu_batch_per_thread * self.cfg.cpu_threads)
+                            .min(n.max(1))
+                            .max(1);
+                        WorkerBatchState::new(b, b, b)
+                    }
+                }
+                WorkerKind::Gpu => {
+                    if adapt {
+                        let max_b = p.gpu_max_batch.max(1);
+                        let min_b = p.gpu_min_batch.min(max_b).max(1);
+                        WorkerBatchState::new(max_b, min_b, max_b)
+                    } else {
+                        let b = train.gpu_batch.max(1);
+                        WorkerBatchState::new(b, b, b)
+                    }
+                }
+            })
+            .collect();
+        AdaptiveController::new(p.alpha, adapt, states)
+    }
+}
+
+/// Re-exported for worker-side label handling in tests.
+pub(crate) fn _labels_len(l: &Labels) -> usize {
+    l.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdaptiveParams, LrScaling};
+    use hetero_data::SynthConfig;
+
+    fn dataset() -> Arc<DenseDataset> {
+        let mut cfg = SynthConfig::small(400, 8, 2, 5);
+        cfg.separability = 3.0;
+        let mut d = cfg.generate();
+        d.standardize();
+        Arc::new(d)
+    }
+
+    fn config(algo: AlgorithmKind, secs: f64) -> ThreadedEngineConfig {
+        ThreadedEngineConfig {
+            spec: MlpSpec::tiny(8, 2),
+            train: TrainConfig {
+                init: hetero_nn::InitScheme::Xavier,
+                algorithm: algo,
+                lr: 0.05,
+                lr_scaling: LrScaling::Sqrt {
+                    ref_batch: 1,
+                    max_lr: 0.3,
+                },
+                cpu_batch_per_thread: 1,
+                gpu_batch: 64,
+                adaptive: AdaptiveParams {
+                    alpha: 2.0,
+                    beta: 1.0,
+                    cpu_min_batch: 4,
+                    cpu_max_batch: 64,
+                    gpu_min_batch: 16,
+                    gpu_max_batch: 64,
+                },
+                time_budget: secs,
+                max_epochs: None,
+                grad_clip: None,
+                weight_decay: 0.0,
+                staleness_discount: 0.0,
+                eval_interval: secs / 4.0,
+                eval_subsample: 200,
+                seed: 3,
+            },
+            cpu_threads: 4,
+            gpu_perf: GpuModel::v100(),
+            gpu_workers: 1,
+        }
+    }
+
+    #[test]
+    fn cpu_only_run_converges() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::HogwildCpu, 0.4))
+            .unwrap()
+            .run(dataset());
+        assert!(r.final_loss() < r.initial_loss(), "{:?}", r.loss_curve);
+        assert_eq!(r.cpu_update_fraction(), 1.0);
+        assert!(r.workers[0].batches > 0);
+    }
+
+    #[test]
+    fn gpu_only_run_converges() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::MiniBatchGpu, 0.4))
+            .unwrap()
+            .run(dataset());
+        assert!(r.final_loss() < r.initial_loss());
+        assert_eq!(r.cpu_update_fraction(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_run_uses_both_workers() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::CpuGpuHogbatch, 0.5))
+            .unwrap()
+            .run(dataset());
+        assert!(r.final_loss() < r.initial_loss());
+        let frac = r.cpu_update_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "cpu fraction {frac}");
+        for w in &r.workers {
+            assert!(w.batches > 0, "{:?} idle", w.kind);
+        }
+    }
+
+    #[test]
+    fn adaptive_run_completes_and_adapts() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::AdaptiveHogbatch, 0.5))
+            .unwrap()
+            .run(dataset());
+        assert!(r.final_loss() < r.initial_loss());
+        assert!(r.loss_curve.len() >= 3);
+        // Update distribution must be less skewed than all-CPU/all-GPU.
+        let frac = r.cpu_update_fraction();
+        assert!(frac > 0.02 && frac < 0.98, "cpu fraction {frac}");
+    }
+
+    #[test]
+    fn multi_gpu_threaded_workers() {
+        // The paper's future work: scale the framework to multi-GPU.
+        let mut cfg = config(AlgorithmKind::CpuGpuHogbatch, 0.5);
+        cfg.gpu_workers = 2;
+        let r = ThreadedEngine::new(cfg).unwrap().run(dataset());
+        let gpu_workers: Vec<_> = r
+            .workers
+            .iter()
+            .filter(|w| w.kind == WorkerKind::Gpu)
+            .collect();
+        assert_eq!(gpu_workers.len(), 2);
+        assert!(gpu_workers.iter().all(|w| w.batches > 0), "an idle GPU worker");
+        assert!(r.final_loss() < r.initial_loss());
+    }
+
+    #[test]
+    fn zero_gpu_workers_rejected_for_gpu_algorithms() {
+        let mut cfg = config(AlgorithmKind::MiniBatchGpu, 0.1);
+        cfg.gpu_workers = 0;
+        assert!(ThreadedEngine::new(cfg).is_err());
+        // CPU-only algorithms don't care.
+        let mut cfg = config(AlgorithmKind::HogwildCpu, 0.1);
+        cfg.gpu_workers = 0;
+        assert!(ThreadedEngine::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn tensorflow_rejected() {
+        assert!(ThreadedEngine::new(config(AlgorithmKind::TensorFlow, 0.1)).is_err());
+    }
+
+    #[test]
+    fn budget_roughly_respected() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::MiniBatchGpu, 0.3))
+            .unwrap()
+            .run(dataset());
+        // Generous upper bound: budget + one batch + eval slack.
+        assert!(r.duration < 3.0, "ran {}s", r.duration);
+    }
+}

@@ -1,0 +1,246 @@
+//! Training metrics: loss curves, update distributions, utilization.
+//!
+//! Everything the paper's figures plot comes out of [`TrainResult`]:
+//! Figure 5 uses `loss_curve` against time, Figure 6 against epochs,
+//! Figure 7 the per-worker utilization timelines, Figure 8 the per-worker
+//! update counts.
+
+use hetero_sim::UtilizationTimeline;
+use serde::{Deserialize, Serialize};
+
+/// One point on the loss curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossPoint {
+    /// Seconds since training started (virtual or wall, engine-dependent).
+    pub time: f64,
+    /// Fractional epochs elapsed (examples served / dataset size).
+    pub epochs: f64,
+    /// Full/subsampled training loss at this instant.
+    pub loss: f32,
+    /// Classification accuracy on the evaluation subset (argmax match for
+    /// single-label, precision@1 for multi-label).
+    pub accuracy: f32,
+}
+
+/// What hardware a worker drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerKind {
+    /// CPU-socket worker performing Hogwild/Hogbatch updates.
+    Cpu,
+    /// GPU worker with a deep-copy replica.
+    Gpu,
+}
+
+/// Per-worker accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Device class.
+    pub kind: WorkerKind,
+    /// Model updates credited to this worker (CPU batches count `t·β`).
+    pub updates: f64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Examples processed.
+    pub examples: u64,
+    /// Final batch size when training stopped (shows adaptation).
+    pub final_batch: usize,
+    /// Busy-interval record for utilization plots.
+    #[serde(skip)]
+    pub timeline: UtilizationTimeline,
+}
+
+impl WorkerStats {
+    /// Fresh stats for a worker of the given kind.
+    pub fn new(kind: WorkerKind) -> Self {
+        WorkerStats {
+            kind,
+            updates: 0.0,
+            batches: 0,
+            examples: 0,
+            final_batch: 0,
+            timeline: UtilizationTimeline::new(),
+        }
+    }
+}
+
+/// Complete record of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainResult {
+    /// Algorithm label (paper naming).
+    pub algorithm: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Loss samples over the run (always ≥ 1: the initial loss).
+    pub loss_curve: Vec<LossPoint>,
+    /// Per-worker accounting, CPU first then GPUs.
+    pub workers: Vec<WorkerStats>,
+    /// Total run duration (seconds).
+    pub duration: f64,
+    /// Fractional epochs completed.
+    pub epochs: f64,
+}
+
+impl TrainResult {
+    /// The smallest loss observed.
+    pub fn min_loss(&self) -> f32 {
+        self.loss_curve
+            .iter()
+            .map(|p| p.loss)
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// The last loss observed.
+    pub fn final_loss(&self) -> f32 {
+        self.loss_curve.last().map_or(f32::INFINITY, |p| p.loss)
+    }
+
+    /// The initial loss.
+    pub fn initial_loss(&self) -> f32 {
+        self.loss_curve.first().map_or(f32::INFINITY, |p| p.loss)
+    }
+
+    /// Earliest time at which the loss reached `target` (the paper's
+    /// "time to convergence" metric — which algorithm reaches a given
+    /// normalized loss first). `None` if never reached.
+    pub fn time_to_loss(&self, target: f32) -> Option<f64> {
+        self.loss_curve
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.time)
+    }
+
+    /// Earliest epoch count at which the loss reached `target`
+    /// (statistical efficiency, Figure 6).
+    pub fn epochs_to_loss(&self, target: f32) -> Option<f64> {
+        self.loss_curve
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.epochs)
+    }
+
+    /// Total updates across workers.
+    pub fn total_updates(&self) -> f64 {
+        self.workers.iter().map(|w| w.updates).sum()
+    }
+
+    /// Fraction of updates performed by CPU workers (Figure 8).
+    pub fn cpu_update_fraction(&self) -> f64 {
+        let total = self.total_updates();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let cpu: f64 = self
+            .workers
+            .iter()
+            .filter(|w| w.kind == WorkerKind::Cpu)
+            .map(|w| w.updates)
+            .sum();
+        cpu / total
+    }
+
+    /// Loss curve normalized by a basis (the paper normalizes every curve
+    /// to the minimum loss across all algorithms).
+    pub fn normalized_curve(&self, basis: f32) -> Vec<LossPoint> {
+        assert!(basis > 0.0, "normalization basis must be positive");
+        self.loss_curve
+            .iter()
+            .map(|p| LossPoint {
+                time: p.time,
+                epochs: p.epochs,
+                loss: p.loss / basis,
+                accuracy: p.accuracy,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TrainResult {
+        TrainResult {
+            algorithm: "test".into(),
+            dataset: "toy".into(),
+            loss_curve: vec![
+                LossPoint { time: 0.0, epochs: 0.0, loss: 1.0, accuracy: 0.0 },
+                LossPoint { time: 1.0, epochs: 0.5, loss: 0.6, accuracy: 0.0 },
+                LossPoint { time: 2.0, epochs: 1.0, loss: 0.4, accuracy: 0.0 },
+                LossPoint { time: 3.0, epochs: 1.5, loss: 0.45, accuracy: 0.0 },
+            ],
+            workers: vec![
+                WorkerStats {
+                    kind: WorkerKind::Cpu,
+                    updates: 300.0,
+                    batches: 10,
+                    examples: 560,
+                    final_batch: 56,
+                    timeline: UtilizationTimeline::new(),
+                },
+                WorkerStats {
+                    kind: WorkerKind::Gpu,
+                    updates: 100.0,
+                    batches: 100,
+                    examples: 819_200,
+                    final_batch: 8192,
+                    timeline: UtilizationTimeline::new(),
+                },
+            ],
+            duration: 3.0,
+            epochs: 1.5,
+        }
+    }
+
+    #[test]
+    fn loss_summaries() {
+        let r = result();
+        assert_eq!(r.initial_loss(), 1.0);
+        assert_eq!(r.min_loss(), 0.4);
+        assert_eq!(r.final_loss(), 0.45);
+    }
+
+    #[test]
+    fn time_and_epochs_to_loss() {
+        let r = result();
+        assert_eq!(r.time_to_loss(0.6), Some(1.0));
+        assert_eq!(r.time_to_loss(0.41), Some(2.0));
+        assert_eq!(r.time_to_loss(0.1), None);
+        assert_eq!(r.epochs_to_loss(0.6), Some(0.5));
+    }
+
+    #[test]
+    fn update_distribution() {
+        let r = result();
+        assert_eq!(r.total_updates(), 400.0);
+        assert!((r.cpu_update_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let r = result();
+        let n = r.normalized_curve(0.4);
+        assert!((n[0].loss - 2.5).abs() < 1e-6);
+        assert!((n[2].loss - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis")]
+    fn zero_basis_panics() {
+        result().normalized_curve(0.0);
+    }
+
+    #[test]
+    fn empty_result_edge_cases() {
+        let r = TrainResult {
+            algorithm: "x".into(),
+            dataset: "y".into(),
+            loss_curve: vec![],
+            workers: vec![],
+            duration: 0.0,
+            epochs: 0.0,
+        };
+        assert_eq!(r.min_loss(), f32::INFINITY);
+        assert_eq!(r.cpu_update_fraction(), 0.0);
+        assert_eq!(r.time_to_loss(1.0), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Closed-loop scenario tests for the Adaptive Hogbatch controller
+//! (Algorithm 2) under modeled worker dynamics.
+
+use hetero_core::adaptive::{AdaptiveController, WorkerBatchState};
+
+/// A modeled worker: processes `throughput` examples per tick and credits
+/// `updates_per_batch(batch)` updates per completed batch.
+struct ModelWorker {
+    throughput: f64,
+    backlog: f64,
+    batch: usize,
+    updates_per_batch: fn(usize) -> f64,
+}
+
+impl ModelWorker {
+    fn tick(&mut self, controller: &mut AdaptiveController, id: usize) {
+        self.backlog += self.throughput;
+        while self.backlog >= self.batch as f64 {
+            self.backlog -= self.batch as f64;
+            controller.report_updates(id, (self.updates_per_batch)(self.batch));
+            self.batch = controller.on_request(id);
+        }
+    }
+}
+
+fn cpu_updates(batch: usize) -> f64 {
+    // 56 Hogwild lanes regardless of batch size.
+    (batch.min(56)) as f64
+}
+
+fn gpu_updates(_batch: usize) -> f64 {
+    1.0
+}
+
+#[test]
+fn controller_converges_to_steady_batches() {
+    // CPU 400 ex/tick, GPU 40k ex/tick (100× faster device).
+    let mut controller = AdaptiveController::new(
+        2.0,
+        true,
+        vec![
+            WorkerBatchState::new(56, 56, 3584),
+            WorkerBatchState::new(8192, 512, 8192),
+        ],
+    );
+    let mut cpu = ModelWorker {
+        throughput: 400.0,
+        backlog: 0.0,
+        batch: 56,
+        updates_per_batch: cpu_updates,
+    };
+    let mut gpu = ModelWorker {
+        throughput: 40_000.0,
+        backlog: 0.0,
+        batch: 8192,
+        updates_per_batch: gpu_updates,
+    };
+    let mut batch_history = Vec::new();
+    for _ in 0..500 {
+        cpu.tick(&mut controller, 0);
+        gpu.tick(&mut controller, 1);
+        batch_history.push((controller.batch(0), controller.batch(1)));
+    }
+    // Steady state: the last 100 ticks should not oscillate wildly — the
+    // batch sizes visit at most 3 distinct values per worker (α = 2 ladder
+    // neighbors).
+    let tail = &batch_history[400..];
+    let mut cpu_vals: Vec<usize> = tail.iter().map(|&(c, _)| c).collect();
+    let mut gpu_vals: Vec<usize> = tail.iter().map(|&(_, g)| g).collect();
+    cpu_vals.sort_unstable();
+    cpu_vals.dedup();
+    gpu_vals.sort_unstable();
+    gpu_vals.dedup();
+    assert!(cpu_vals.len() <= 3, "CPU batch oscillates over {cpu_vals:?}");
+    assert!(gpu_vals.len() <= 3, "GPU batch oscillates over {gpu_vals:?}");
+    // The CPU (many updates per batch) must have been slowed down relative
+    // to its starting point, and the GPU must have been sped up at some
+    // point (the α = 2 ladder may oscillate across the top rung, so check
+    // the history, not the final instant).
+    assert!(controller.batch(0) > 56, "CPU batch never grew");
+    assert!(
+        batch_history.iter().any(|&(_, g)| g < 8192),
+        "GPU batch never shrank at any point"
+    );
+}
+
+#[test]
+fn update_gap_stays_bounded_relative_to_unadapted() {
+    let run = |adapt: bool| -> f64 {
+        let mut controller = AdaptiveController::new(
+            2.0,
+            adapt,
+            vec![
+                WorkerBatchState::new(56, 56, 3584),
+                WorkerBatchState::new(8192, 512, 8192),
+            ],
+        );
+        let mut cpu = ModelWorker {
+            throughput: 200.0,
+            backlog: 0.0,
+            batch: 56,
+            updates_per_batch: cpu_updates,
+        };
+        let mut gpu = ModelWorker {
+            throughput: 50_000.0,
+            backlog: 0.0,
+            batch: 8192,
+            updates_per_batch: gpu_updates,
+        };
+        for _ in 0..300 {
+            cpu.tick(&mut controller, 0);
+            gpu.tick(&mut controller, 1);
+        }
+        controller.update_gap()
+    };
+    let gap_static = run(false);
+    let gap_adaptive = run(true);
+    assert!(
+        gap_adaptive <= gap_static,
+        "adaptation failed to reduce the update gap: {gap_adaptive} vs {gap_static}"
+    );
+}
+
+#[test]
+fn slow_worker_recovers_after_transient_stall() {
+    // Two GPU-like workers (1 update/batch). Worker 0 stalls for a while —
+    // the controller must shrink its batch (speed it up) so it catches
+    // back up once it resumes.
+    let mut controller = AdaptiveController::new(
+        2.0,
+        true,
+        vec![
+            WorkerBatchState::new(2048, 512, 8192),
+            WorkerBatchState::new(2048, 512, 8192),
+        ],
+    );
+    let mut a = ModelWorker {
+        throughput: 2000.0,
+        backlog: 0.0,
+        batch: 2048,
+        updates_per_batch: gpu_updates,
+    };
+    let mut b = ModelWorker {
+        throughput: 2000.0,
+        backlog: 0.0,
+        batch: 2048,
+        updates_per_batch: gpu_updates,
+    };
+    // Warm-up.
+    for _ in 0..50 {
+        a.tick(&mut controller, 0);
+        b.tick(&mut controller, 1);
+    }
+    // Stall: only worker 1 makes progress.
+    for _ in 0..100 {
+        b.tick(&mut controller, 1);
+    }
+    let gap_after_stall = controller.update_gap();
+    assert!(gap_after_stall > 0.0);
+    // The controller sees worker 0 behind: every request while behind
+    // halves its batch, monotonically toward the floor.
+    let pre_stall = controller.batch(0);
+    let r1 = controller.on_request(0);
+    let r2 = controller.on_request(0);
+    let r3 = controller.on_request(0);
+    assert!(r1 <= pre_stall && r2 <= r1 && r3 <= r2, "{pre_stall} {r1} {r2} {r3}");
+    assert!(r3 < pre_stall.max(513), "no shrink toward the floor: {r3}");
+    let batch_after_stall = r3;
+    // Recovery: the smaller batch lets worker 0 close the gap.
+    a.batch = batch_after_stall;
+    for _ in 0..300 {
+        a.tick(&mut controller, 0);
+        b.tick(&mut controller, 1);
+    }
+    assert!(
+        controller.update_gap() < gap_after_stall,
+        "gap did not shrink after recovery: {} vs {gap_after_stall}",
+        controller.update_gap()
+    );
+}

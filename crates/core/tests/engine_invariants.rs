@@ -1,0 +1,192 @@
+//! Engine-level invariant tests exercising the hetero-core public API
+//! across algorithms and seeds.
+
+use hetero_core::{
+    AdaptiveParams, AlgorithmKind, LrScaling, SimEngine, SimEngineConfig, TrainConfig,
+    WorkerKind,
+};
+use hetero_data::SynthConfig;
+use hetero_nn::MlpSpec;
+use hetero_sim::{CpuModel, GpuModel};
+
+fn hardware() -> (CpuModel, GpuModel) {
+    (
+        CpuModel {
+            name: "inv-cpu".into(),
+            threads: 4,
+            hw_threads: 4,
+            flops_small: 1e9,
+            flops_large: 8e9,
+            batch_half: 8.0,
+            dispatch_overhead: 20e-6,
+            memory: 1 << 30,
+        },
+        GpuModel {
+            name: "inv-gpu".into(),
+            peak_flops: 1e12,
+            occupancy_half_batch: 64.0,
+            launch_overhead: 20e-6,
+            transfer_latency: 5e-6,
+            transfer_bandwidth: 12e9,
+            memory: 1 << 30,
+        },
+    )
+}
+
+fn config(algo: AlgorithmKind, seed: u64) -> SimEngineConfig {
+    let (cpu, gpu) = hardware();
+    SimEngineConfig {
+        spec: MlpSpec::tiny(8, 3),
+        train: TrainConfig {
+            init: hetero_nn::InitScheme::Xavier,
+            algorithm: algo,
+            lr: 0.03,
+            lr_scaling: LrScaling::Sqrt {
+                ref_batch: 1,
+                max_lr: 0.3,
+            },
+            cpu_batch_per_thread: 1,
+            gpu_batch: 128,
+            adaptive: AdaptiveParams {
+                alpha: 2.0,
+                beta: 1.0,
+                cpu_min_batch: 4,
+                cpu_max_batch: 256,
+                gpu_min_batch: 16,
+                gpu_max_batch: 128,
+            },
+            time_budget: 0.03,
+            max_epochs: None,
+            grad_clip: None,
+            weight_decay: 0.0,
+            staleness_discount: 0.0,
+            eval_interval: 0.01,
+            eval_subsample: 256,
+            seed,
+        },
+        cpu,
+        gpus: vec![gpu],
+        tf_op_overhead: 20e-6,
+        tf_multilabel_penalty: 3.0,
+    }
+}
+
+fn dataset(seed: u64) -> hetero_data::DenseDataset {
+    let mut cfg = SynthConfig::small(500, 8, 3, seed);
+    cfg.separability = 2.5;
+    let mut d = cfg.generate();
+    d.standardize();
+    d
+}
+
+#[test]
+fn every_extended_algorithm_produces_valid_metrics() {
+    let data = dataset(1);
+    for algo in AlgorithmKind::all_extended() {
+        let r = SimEngine::new(config(algo, 1)).unwrap().run(&data);
+        // Structural invariants on the result record.
+        assert!(!r.loss_curve.is_empty(), "{}: empty curve", r.algorithm);
+        assert!(
+            r.loss_curve.iter().all(|p| p.loss.is_finite() && p.loss >= 0.0),
+            "{}: bad loss values",
+            r.algorithm
+        );
+        assert!(r.epochs >= 0.0);
+        assert!(r.total_updates() > 0.0, "{}: no updates", r.algorithm);
+        // Worker kinds match the algorithm's device usage.
+        let has_cpu = r
+            .workers
+            .iter()
+            .any(|w| w.kind == WorkerKind::Cpu && w.batches > 0);
+        let has_gpu = r
+            .workers
+            .iter()
+            .any(|w| w.kind == WorkerKind::Gpu && w.batches > 0);
+        assert_eq!(has_cpu, algo.uses_cpu(), "{}: CPU usage mismatch", r.algorithm);
+        assert_eq!(has_gpu, algo.uses_gpu(), "{}: GPU usage mismatch", r.algorithm);
+        // Examples served per worker sum to epochs × dataset, up to the
+        // batches still in flight when the budget expired (assigned by the
+        // scheduler but never completed).
+        let served: u64 = r.workers.iter().map(|w| w.examples).sum();
+        let expected = (r.epochs * data.len() as f64).round() as u64;
+        assert!(served <= expected, "{}: served more than scheduled", r.algorithm);
+        let in_flight = expected - served;
+        let max_outstanding = (r.workers.len() as u64) * 256;
+        assert!(
+            in_flight <= max_outstanding,
+            "{}: {in_flight} unaccounted examples",
+            r.algorithm
+        );
+    }
+}
+
+#[test]
+fn different_seeds_different_trajectories() {
+    let data = dataset(2);
+    let r1 = SimEngine::new(config(AlgorithmKind::CpuGpuHogbatch, 10))
+        .unwrap()
+        .run(&data);
+    let r2 = SimEngine::new(config(AlgorithmKind::CpuGpuHogbatch, 11))
+        .unwrap()
+        .run(&data);
+    // Different model init ⇒ different loss values (same schedule though).
+    assert_ne!(r1.initial_loss(), r2.initial_loss());
+}
+
+#[test]
+fn result_serde_roundtrip() {
+    let data = dataset(3);
+    let r = SimEngine::new(config(AlgorithmKind::AdaptiveHogbatch, 5))
+        .unwrap()
+        .run(&data);
+    let json = serde_json::to_string(&r).expect("serialize");
+    let back: hetero_core::TrainResult = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.algorithm, r.algorithm);
+    assert_eq!(back.loss_curve.len(), r.loss_curve.len());
+    assert_eq!(back.workers.len(), r.workers.len());
+    assert_eq!(back.final_loss(), r.final_loss());
+}
+
+#[test]
+fn time_budget_scales_work_linearly() {
+    // Double the virtual budget ⇒ roughly double the examples processed.
+    let data = dataset(4);
+    let mut c1 = config(AlgorithmKind::MiniBatchGpu, 6);
+    c1.train.time_budget = 0.02;
+    let mut c2 = config(AlgorithmKind::MiniBatchGpu, 6);
+    c2.train.time_budget = 0.04;
+    let r1 = SimEngine::new(c1).unwrap().run(&data);
+    let r2 = SimEngine::new(c2).unwrap().run(&data);
+    let ratio = r2.epochs / r1.epochs.max(1e-9);
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "work did not scale with budget: {ratio}"
+    );
+}
+
+#[test]
+fn beta_discounts_cpu_update_credit() {
+    // With β = 0.5 the CPU is credited half the updates; the controller
+    // sees a slower CPU and the reported CPU share drops.
+    let data = dataset(5);
+    let full = SimEngine::new(config(AlgorithmKind::CpuGpuHogbatch, 7))
+        .unwrap()
+        .run(&data);
+    let mut half_cfg = config(AlgorithmKind::CpuGpuHogbatch, 7);
+    half_cfg.train.adaptive.beta = 0.5;
+    let half = SimEngine::new(half_cfg).unwrap().run(&data);
+    let cpu_updates = |r: &hetero_core::TrainResult| {
+        r.workers
+            .iter()
+            .filter(|w| w.kind == WorkerKind::Cpu)
+            .map(|w| w.updates)
+            .sum::<f64>()
+    };
+    // Same schedule (static batches), so credited updates halve exactly.
+    assert!(
+        (cpu_updates(&half) - cpu_updates(&full) * 0.5).abs() < 1.0,
+        "beta crediting: {} vs {}",
+        cpu_updates(&half),
+        cpu_updates(&full)
+    );
+}

@@ -1,0 +1,180 @@
+//! The GPU device facade: memory + transfers + virtual-time accounting.
+
+use hetero_sim::{DeviceModel, GpuModel};
+use parking_lot::Mutex;
+
+use crate::alloc::{BufferId, DeviceMemory, OomError};
+
+/// Cumulative transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Host→device transfer count.
+    pub h2d_count: u64,
+    /// Device→host transfer count.
+    pub d2h_count: u64,
+}
+
+/// A software GPU: tracked global memory, explicit transfers, and a
+/// calibrated performance model accumulating *virtual* busy time.
+///
+/// The math inside kernels runs on host cores for real; `virtual_time`
+/// answers "how long would this have taken on the modeled V100", which is
+/// what the simulation engine advances its clock by.
+pub struct GpuDevice {
+    mem: DeviceMemory,
+    perf: GpuModel,
+    busy: Mutex<f64>,
+    transfers: Mutex<TransferStats>,
+}
+
+impl GpuDevice {
+    /// Create a device with the given performance model; memory capacity
+    /// comes from the model.
+    pub fn new(perf: GpuModel) -> Self {
+        GpuDevice {
+            mem: DeviceMemory::new(perf.memory),
+            perf,
+            busy: Mutex::new(0.0),
+            transfers: Mutex::new(TransferStats::default()),
+        }
+    }
+
+    /// A V100-modeled device (the paper's hardware).
+    pub fn v100() -> Self {
+        Self::new(GpuModel::v100())
+    }
+
+    /// The device memory pool.
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// The performance model.
+    pub fn perf(&self) -> &GpuModel {
+        &self.perf
+    }
+
+    /// Copy host data into a fresh device buffer, accounting transfer time.
+    pub fn h2d(&self, data: &[f32]) -> Result<BufferId, OomError> {
+        let buf = self.mem.alloc(data.len())?;
+        self.h2d_into(data, buf);
+        Ok(buf)
+    }
+
+    /// Copy host data into an existing buffer (sizes must match).
+    pub fn h2d_into(&self, data: &[f32], buf: BufferId) {
+        let h = self.mem.get(buf);
+        let mut w = h.write();
+        assert_eq!(w.len(), data.len(), "h2d size mismatch");
+        w.copy_from_slice(data);
+        drop(w);
+        let bytes = 4 * data.len() as u64;
+        let mut t = self.transfers.lock();
+        t.h2d_bytes += bytes;
+        t.h2d_count += 1;
+        drop(t);
+        *self.busy.lock() += self.perf.transfer_time(bytes);
+    }
+
+    /// Copy a device buffer back to the host, accounting transfer time.
+    pub fn d2h(&self, buf: BufferId) -> Vec<f32> {
+        let h = self.mem.get(buf);
+        let data = h.read().clone();
+        let bytes = 4 * data.len() as u64;
+        let mut t = self.transfers.lock();
+        t.d2h_bytes += bytes;
+        t.d2h_count += 1;
+        drop(t);
+        *self.busy.lock() += self.perf.transfer_time(bytes);
+        data
+    }
+
+    /// Account the virtual cost of one training step over `batch` examples
+    /// at `flops_per_example`.
+    pub fn account_step(&self, flops_per_example: u64, batch: usize) {
+        *self.busy.lock() += self.perf.batch_time(flops_per_example, batch);
+    }
+
+    /// Add raw virtual seconds (e.g. for synchronization stalls).
+    pub fn account_seconds(&self, secs: f64) {
+        assert!(secs >= 0.0 && secs.is_finite());
+        *self.busy.lock() += secs;
+    }
+
+    /// Total virtual busy seconds accumulated so far.
+    pub fn virtual_time(&self) -> f64 {
+        *self.busy.lock()
+    }
+
+    /// Cumulative transfer statistics.
+    pub fn transfer_stats(&self) -> TransferStats {
+        *self.transfers.lock()
+    }
+}
+
+impl std::fmt::Debug for GpuDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuDevice")
+            .field("perf", &self.perf.name)
+            .field("mem_used", &self.mem.used_bytes())
+            .field("virtual_time", &self.virtual_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2d_d2h_roundtrip() {
+        let dev = GpuDevice::v100();
+        let data = vec![1.0, 2.0, 3.0];
+        let buf = dev.h2d(&data).unwrap();
+        assert_eq!(dev.d2h(buf), data);
+        let s = dev.transfer_stats();
+        assert_eq!(s.h2d_bytes, 12);
+        assert_eq!(s.d2h_bytes, 12);
+        assert_eq!((s.h2d_count, s.d2h_count), (1, 1));
+    }
+
+    #[test]
+    fn transfers_accumulate_virtual_time() {
+        let dev = GpuDevice::v100();
+        assert_eq!(dev.virtual_time(), 0.0);
+        let buf = dev.h2d(&vec![0.0; 1 << 20]).unwrap();
+        let t1 = dev.virtual_time();
+        assert!(t1 > 0.0);
+        let _ = dev.d2h(buf);
+        assert!(dev.virtual_time() > t1);
+    }
+
+    #[test]
+    fn account_step_uses_perf_model() {
+        let dev = GpuDevice::v100();
+        dev.account_step(1_000_000, 1024);
+        let expect = dev.perf().batch_time(1_000_000, 1024);
+        assert!((dev.virtual_time() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_propagates_from_allocator() {
+        let mut small = GpuModel::v100();
+        small.memory = 1024; // 256 floats
+        let dev = GpuDevice::new(small);
+        assert!(dev.h2d(&vec![0.0; 200]).is_ok());
+        assert!(dev.h2d(&vec![0.0; 200]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "h2d size mismatch")]
+    fn h2d_into_size_mismatch_panics() {
+        let dev = GpuDevice::v100();
+        let buf = dev.mem().alloc(4).unwrap();
+        dev.h2d_into(&[1.0, 2.0], buf);
+    }
+}

@@ -1,0 +1,255 @@
+//! Device kernels: the cuBLAS/cuDNN stand-ins.
+//!
+//! Each kernel reads/writes [`DeviceMemory`] buffers and performs the math
+//! for real via `hetero-tensor`. Input buffers take read locks, the output
+//! takes a write lock — aliasing an input as the output would deadlock, as
+//! would in-place GEMM on a real GPU without workspace.
+
+use hetero_tensor::{gemm, ops, Matrix};
+
+use crate::alloc::{BufferId, DeviceMemory};
+
+/// `C ← A·Bᵀ` where A is `m×k` and B is `n×k` (forward layer product).
+pub fn gemm_nt(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, m: usize, k: usize, n: usize) {
+    let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
+    let (ar, br) = (ah.read(), bh.read());
+    let mut cw = ch.write();
+    assert_eq!(ar.len(), m * k, "A dims");
+    assert_eq!(br.len(), n * k, "B dims");
+    assert_eq!(cw.len(), m * n, "C dims");
+    let am = Matrix::from_vec(m, k, ar.clone());
+    let bm = Matrix::from_vec(n, k, br.clone());
+    let mut cm = Matrix::zeros(m, n);
+    gemm::par_gemm_nt(1.0, &am, &bm, 0.0, &mut cm);
+    cw.copy_from_slice(cm.as_slice());
+}
+
+/// `C ← Aᵀ·B` where A is `k×m` and B is `k×n` (weight gradient).
+pub fn gemm_tn(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, k: usize, m: usize, n: usize) {
+    let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
+    let (ar, br) = (ah.read(), bh.read());
+    let mut cw = ch.write();
+    assert_eq!(ar.len(), k * m, "A dims");
+    assert_eq!(br.len(), k * n, "B dims");
+    assert_eq!(cw.len(), m * n, "C dims");
+    let am = Matrix::from_vec(k, m, ar.clone());
+    let bm = Matrix::from_vec(k, n, br.clone());
+    let mut cm = Matrix::zeros(m, n);
+    gemm::par_gemm_tn(1.0, &am, &bm, 0.0, &mut cm);
+    cw.copy_from_slice(cm.as_slice());
+}
+
+/// `C ← A·B` where A is `m×k` and B is `k×n` (delta backprop).
+pub fn gemm_nn(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, m: usize, k: usize, n: usize) {
+    let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
+    let (ar, br) = (ah.read(), bh.read());
+    let mut cw = ch.write();
+    assert_eq!(ar.len(), m * k, "A dims");
+    assert_eq!(br.len(), k * n, "B dims");
+    assert_eq!(cw.len(), m * n, "C dims");
+    let am = Matrix::from_vec(m, k, ar.clone());
+    let bm = Matrix::from_vec(k, n, br.clone());
+    let mut cm = Matrix::zeros(m, n);
+    gemm::par_gemm_nn(1.0, &am, &bm, 0.0, &mut cm);
+    cw.copy_from_slice(cm.as_slice());
+}
+
+/// Broadcast-add a bias row vector to every row of an `m×n` buffer.
+pub fn add_bias(mem: &DeviceMemory, x: BufferId, bias: BufferId, n: usize) {
+    let (xh, bh) = (mem.get(x), mem.get(bias));
+    let mut xw = xh.write();
+    let br = bh.read();
+    assert_eq!(br.len(), n, "bias dims");
+    assert_eq!(xw.len() % n, 0, "matrix dims");
+    for row in xw.chunks_exact_mut(n) {
+        for (v, b) in row.iter_mut().zip(br.iter()) {
+            *v += b;
+        }
+    }
+}
+
+/// Element-wise logistic sigmoid, in place.
+pub fn sigmoid(mem: &DeviceMemory, x: BufferId) {
+    let xh = mem.get(x);
+    let mut xw = xh.write();
+    for v in xw.iter_mut() {
+        *v = if *v >= 0.0 {
+            1.0 / (1.0 + (-*v).exp())
+        } else {
+            let e = v.exp();
+            e / (1.0 + e)
+        };
+    }
+}
+
+/// Row-wise numerically-stable softmax over an `m×n` buffer, in place.
+pub fn softmax_rows(mem: &DeviceMemory, x: BufferId, n: usize) {
+    let xh = mem.get(x);
+    let mut xw = xh.write();
+    assert_eq!(xw.len() % n.max(1), 0, "matrix dims");
+    for row in xw.chunks_exact_mut(n) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            let inv = 1.0 / sum;
+            row.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+}
+
+/// `y ← y + alpha·x` over whole buffers (the SGD update kernel).
+pub fn axpy(mem: &DeviceMemory, alpha: f32, x: BufferId, y: BufferId) {
+    let (xh, yh) = (mem.get(x), mem.get(y));
+    let xr = xh.read();
+    let mut yw = yh.write();
+    assert_eq!(xr.len(), yw.len(), "axpy dims");
+    ops::axpy(alpha, &xr, &mut yw);
+}
+
+/// Multiply `delta` in place by the sigmoid derivative computed from the
+/// stored activation output `a`: `delta ← delta ⊙ a(1-a)`.
+pub fn sigmoid_backward(mem: &DeviceMemory, activation: BufferId, delta: BufferId) {
+    let (ah, dh) = (mem.get(activation), mem.get(delta));
+    let ar = ah.read();
+    let mut dw = dh.write();
+    assert_eq!(ar.len(), dw.len(), "dims");
+    for (d, &a) in dw.iter_mut().zip(ar.iter()) {
+        *d *= a * (1.0 - a);
+    }
+}
+
+/// Column-sum of an `m×n` buffer into a length-`n` buffer (bias gradient).
+pub fn col_sum(mem: &DeviceMemory, x: BufferId, out: BufferId, n: usize) {
+    let (xh, oh) = (mem.get(x), mem.get(out));
+    let xr = xh.read();
+    let mut ow = oh.write();
+    assert_eq!(ow.len(), n, "output dims");
+    ow.iter_mut().for_each(|v| *v = 0.0);
+    for row in xr.chunks_exact(n) {
+        for (o, v) in ow.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
+/// Scale a buffer in place.
+pub fn scale(mem: &DeviceMemory, alpha: f32, x: BufferId) {
+    let xh = mem.get(x);
+    ops::scale(alpha, &mut xh.write());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::new(1 << 24)
+    }
+
+    fn upload(mem: &DeviceMemory, data: &[f32]) -> BufferId {
+        let b = mem.alloc(data.len()).unwrap();
+        mem.get(b).write().copy_from_slice(data);
+        b
+    }
+
+    #[test]
+    fn gemm_nt_matches_host() {
+        let m = mem();
+        let a = upload(&m, &[1.0, 2.0, 3.0, 4.0]); // 2x2
+        let b = upload(&m, &[1.0, 0.0, 0.0, 1.0]); // 2x2 identity (as Bᵀ too)
+        let c = m.alloc(4).unwrap();
+        gemm_nt(&m, a, b, c, 2, 2, 2);
+        assert_eq!(&*m.get(c).read(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gemm_tn_and_nn_match_host() {
+        let dm = mem();
+        let a_host = Matrix::from_fn(5, 4, |i, j| (i + 2 * j) as f32 * 0.25);
+        let b_host = Matrix::from_fn(5, 3, |i, j| (2 * i + j) as f32 * 0.5);
+        let a = upload(&dm, a_host.as_slice());
+        let b = upload(&dm, b_host.as_slice());
+        let c = dm.alloc(12).unwrap();
+        gemm_tn(&dm, a, b, c, 5, 4, 3);
+        let mut expect = Matrix::zeros(4, 3);
+        gemm::gemm_tn(1.0, &a_host, &b_host, 0.0, &mut expect);
+        assert_eq!(&*dm.get(c).read(), expect.as_slice());
+
+        // NN: (4x5)·(5x3)
+        let at = a_host.transpose();
+        let abuf = upload(&dm, at.as_slice());
+        let c2 = dm.alloc(12).unwrap();
+        gemm_nn(&dm, abuf, b, c2, 4, 5, 3);
+        let mut expect2 = Matrix::zeros(4, 3);
+        gemm::gemm_nn(1.0, &at, &b_host, 0.0, &mut expect2);
+        assert_eq!(&*dm.get(c2).read(), expect2.as_slice());
+    }
+
+    #[test]
+    fn bias_and_sigmoid() {
+        let m = mem();
+        let x = upload(&m, &[0.0, 0.0, 0.0, 0.0]);
+        let b = upload(&m, &[1.0, -1.0]);
+        add_bias(&m, x, b, 2);
+        assert_eq!(&*m.get(x).read(), &[1.0, -1.0, 1.0, -1.0]);
+        sigmoid(&m, x);
+        let r = m.get(x).read().clone();
+        assert!((r[0] - 1.0 / (1.0 + (-1.0f32).exp())).abs() < 1e-6);
+        assert!((r[0] + r[1] - 1.0).abs() < 1e-6); // σ(1)+σ(-1)=1
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let m = mem();
+        let x = upload(&m, &[1.0, 2.0, 3.0, 10.0, 10.0, 10.0]);
+        softmax_rows(&m, x, 3);
+        let r = m.get(x).read().clone();
+        assert!((r[0..3].iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!((r[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let m = mem();
+        let x = upload(&m, &[1.0, 2.0]);
+        let y = upload(&m, &[10.0, 10.0]);
+        axpy(&m, -0.5, x, y);
+        assert_eq!(&*m.get(y).read(), &[9.5, 9.0]);
+        scale(&m, 2.0, y);
+        assert_eq!(&*m.get(y).read(), &[19.0, 18.0]);
+    }
+
+    #[test]
+    fn sigmoid_backward_applies_derivative() {
+        let m = mem();
+        let a = upload(&m, &[0.5, 0.9]);
+        let d = upload(&m, &[4.0, 10.0]);
+        sigmoid_backward(&m, a, d);
+        let r = m.get(d).read().clone();
+        assert!((r[0] - 1.0).abs() < 1e-6); // 4 * 0.25
+        assert!((r[1] - 0.9).abs() < 1e-5); // 10 * 0.09
+    }
+
+    #[test]
+    fn col_sum_kernel() {
+        let m = mem();
+        let x = upload(&m, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let o = m.alloc(2).unwrap();
+        col_sum(&m, x, o, 2);
+        assert_eq!(&*m.get(o).read(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn dimension_mismatch_panics() {
+        let m = mem();
+        let a = upload(&m, &[1.0; 4]);
+        let b = upload(&m, &[1.0; 4]);
+        let c = m.alloc(5).unwrap();
+        gemm_nt(&m, a, b, c, 2, 2, 2);
+    }
+}

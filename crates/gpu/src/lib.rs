@@ -1,0 +1,43 @@
+//! # hetero-gpu
+//!
+//! A software GPU device — the substitute for the paper's V100 + CUDA +
+//! cuBLAS stack (see DESIGN.md §2).
+//!
+//! The point of this crate is to preserve the *code path* of a real GPU
+//! worker, not to emulate silicon: model replicas must be deep copies,
+//! data must move through explicit host↔device transfers, work is issued
+//! as kernels on ordered asynchronous streams, and device memory is a
+//! finite tracked resource that can run out. All of those constraints
+//! shape the paper's algorithms (§V "GPU Workers", §VI-B), so all of them
+//! are real here:
+//!
+//! - [`alloc::DeviceMemory`] — a tracked allocator over the device's
+//!   global-memory capacity; allocation fails with OOM exactly like
+//!   `cudaMalloc`.
+//! - [`stream::Stream`] / [`stream::Event`] — ordered asynchronous kernel
+//!   execution on a dedicated thread, with host-visible events (the CUDA
+//!   stream/event model).
+//! - [`kernels`] — the linear-algebra kernels (GEMM variants, bias,
+//!   activations, softmax, SGD update) executed for real on a dedicated
+//!   thread pool standing in for the streaming multiprocessors.
+//! - [`device::GpuDevice`] — the facade combining memory, transfers, and
+//!   kernel launch, with **virtual-time accounting** from the calibrated
+//!   [`hetero_sim::GpuModel`] so that a simulated V100 takes V100-like
+//!   time even though the math runs on host cores.
+//! - [`mlp::GpuMlp`] — a device-resident MLP replica supporting upload /
+//!   download / train-step, the unit of work a GPU worker executes.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod device;
+pub mod kernels;
+pub mod mlp;
+pub mod pipeline;
+pub mod stream;
+
+pub use alloc::{BufferId, DeviceMemory, OomError};
+pub use device::GpuDevice;
+pub use mlp::GpuMlp;
+pub use pipeline::BatchPipeline;
+pub use stream::{Event, Stream};

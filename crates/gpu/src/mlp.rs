@@ -1,0 +1,350 @@
+//! Device-resident MLP replica — the unit a GPU worker trains.
+//!
+//! §V "GPU Workers": *"the model replica in the GPU worker is always a deep
+//! copy of the global model"*, moved through explicit transfers, with
+//! kernels invoked for the forward and backward passes and intermediate
+//! outputs kept in device memory. [`GpuMlp`] is exactly that object:
+//!
+//! - [`GpuMlp::upload`] — deep-copy a host model into device buffers;
+//! - [`GpuMlp::train_step`] — one SGD step fully on the device (forward,
+//!   backward, parameter update), returning the batch loss;
+//! - [`GpuMlp::download`] — read the replica back for merging into the
+//!   global model.
+
+use hetero_nn::{LossKind, Model, Targets};
+use hetero_tensor::Matrix;
+
+use crate::alloc::{BufferId, OomError};
+use crate::device::GpuDevice;
+use crate::kernels;
+
+/// An MLP whose parameters live in device memory.
+pub struct GpuMlp<'d> {
+    device: &'d GpuDevice,
+    spec: hetero_nn::MlpSpec,
+    weights: Vec<BufferId>,
+    biases: Vec<BufferId>,
+    /// Persistent gradient workspaces (same shapes as the parameters).
+    grad_w: Vec<BufferId>,
+    grad_b: Vec<BufferId>,
+}
+
+impl<'d> GpuMlp<'d> {
+    /// Deep-copy `model` onto the device.
+    ///
+    /// Allocates parameters plus gradient workspace; fails with OOM if the
+    /// model does not fit (a real constraint for the batch-size bounds in
+    /// §VI-B).
+    pub fn upload(device: &'d GpuDevice, model: &Model) -> Result<Self, OomError> {
+        let spec = model.spec().clone();
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        let mut grad_w = Vec::new();
+        let mut grad_b = Vec::new();
+        for layer in model.layers() {
+            weights.push(device.h2d(layer.w.as_slice())?);
+            biases.push(device.h2d(&layer.b)?);
+            grad_w.push(device.mem().alloc(layer.w.len())?);
+            grad_b.push(device.mem().alloc(layer.b.len())?);
+        }
+        Ok(GpuMlp {
+            device,
+            spec,
+            weights,
+            biases,
+            grad_w,
+            grad_b,
+        })
+    }
+
+    /// The network specification.
+    pub fn spec(&self) -> &hetero_nn::MlpSpec {
+        &self.spec
+    }
+
+    /// Read the device replica back to the host.
+    pub fn download(&self) -> Model {
+        let mut flat = Vec::with_capacity(self.spec.num_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            flat.extend_from_slice(&self.device.d2h(*w));
+            flat.extend_from_slice(&self.device.d2h(*b));
+        }
+        Model::unflatten(&self.spec, &flat)
+    }
+
+    /// Overwrite the device replica from a host model (refresh before a new
+    /// round of local steps).
+    pub fn refresh(&self, model: &Model) {
+        assert_eq!(model.spec(), &self.spec, "replica spec mismatch");
+        for (layer, (w, b)) in model.layers().iter().zip(self.weights.iter().zip(&self.biases)) {
+            self.device.h2d_into(layer.w.as_slice(), *w);
+            self.device.h2d_into(&layer.b, *b);
+        }
+    }
+
+    /// One SGD step over batch `x` on the device; updates the replica in
+    /// place and returns the batch loss.
+    ///
+    /// The batch is transferred H2D; activations are allocated on device,
+    /// used, and freed (never leaving device memory, per §V); the loss is
+    /// read back from the output probabilities.
+    pub fn train_step(
+        &mut self,
+        x: &Matrix,
+        targets: Targets<'_>,
+        eta: f32,
+    ) -> Result<f32, OomError> {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.spec.input_dim, "batch width");
+        assert_eq!(targets.len(), batch, "target count");
+        let dev = self.device;
+        let dims = self.spec.layer_dims();
+        let n_layers = dims.len();
+
+        // --- Transfer the batch.
+        let x_buf = dev.h2d(x.as_slice())?;
+
+        // --- Forward: activations stay on device.
+        let mut acts: Vec<BufferId> = Vec::with_capacity(n_layers);
+        let cleanup = |dev: &GpuDevice, acts: &[BufferId], x_buf: BufferId| {
+            for &a in acts {
+                let _ = dev.mem().free(a);
+            }
+            let _ = dev.mem().free(x_buf);
+        };
+        for (l, &(in_dim, out_dim)) in dims.iter().enumerate() {
+            let act = match dev.mem().alloc(batch * out_dim) {
+                Ok(a) => a,
+                Err(e) => {
+                    cleanup(dev, &acts, x_buf);
+                    return Err(e);
+                }
+            };
+            let input = if l == 0 { x_buf } else { acts[l - 1] };
+            kernels::gemm_nt(dev.mem(), input, self.weights[l], act, batch, in_dim, out_dim);
+            kernels::add_bias(dev.mem(), act, self.biases[l], out_dim);
+            if l + 1 == n_layers {
+                match self.spec.loss {
+                    LossKind::SoftmaxCrossEntropy => {
+                        kernels::softmax_rows(dev.mem(), act, out_dim)
+                    }
+                    LossKind::MultiLabelBce => kernels::sigmoid(dev.mem(), act),
+                }
+            } else {
+                // Paper networks use sigmoid hidden activations.
+                kernels::sigmoid(dev.mem(), act);
+            }
+            acts.push(act);
+        }
+
+        // --- Loss + output delta (probabilities come back to the host once).
+        let probs_flat = dev.d2h(acts[n_layers - 1]);
+        let classes = self.spec.classes;
+        let probs = Matrix::from_vec(batch, classes, probs_flat);
+        let batch_loss = hetero_nn::loss(&probs, targets, self.spec.loss);
+        let mut delta_host = probs;
+        let inv_b = if batch > 0 { 1.0 / batch as f32 } else { 0.0 };
+        match targets {
+            Targets::Classes(labels) => {
+                for (i, &y) in labels.iter().enumerate() {
+                    let v = delta_host.get(i, y as usize) - 1.0;
+                    delta_host.set(i, y as usize, v);
+                }
+            }
+            Targets::MultiHot(y) => {
+                hetero_tensor::ops::sub_assign(&mut delta_host, y);
+            }
+        }
+        hetero_tensor::ops::scale(inv_b, delta_host.as_mut_slice());
+        let mut delta = match dev.h2d(delta_host.as_slice()) {
+            Ok(d) => d,
+            Err(e) => {
+                cleanup(dev, &acts, x_buf);
+                return Err(e);
+            }
+        };
+
+        // --- Backward + update, layer by layer.
+        for l in (0..n_layers).rev() {
+            let (in_dim, out_dim) = dims[l];
+            let input = if l == 0 { x_buf } else { acts[l - 1] };
+            // ∇W = δᵀ·input, ∇b = colsum(δ)
+            kernels::gemm_tn(dev.mem(), delta, input, self.grad_w[l], batch, out_dim, in_dim);
+            kernels::col_sum(dev.mem(), delta, self.grad_b[l], out_dim);
+            if l > 0 {
+                let prev = match dev.mem().alloc(batch * in_dim) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let _ = dev.mem().free(delta);
+                        cleanup(dev, &acts, x_buf);
+                        return Err(e);
+                    }
+                };
+                kernels::gemm_nn(dev.mem(), delta, self.weights[l], prev, batch, out_dim, in_dim);
+                kernels::sigmoid_backward(dev.mem(), acts[l - 1], prev);
+                let _ = dev.mem().free(delta);
+                delta = prev;
+            }
+            // SGD update on device.
+            kernels::axpy(dev.mem(), -eta, self.grad_w[l], self.weights[l]);
+            kernels::axpy(dev.mem(), -eta, self.grad_b[l], self.biases[l]);
+        }
+        let _ = dev.mem().free(delta);
+        cleanup(dev, &acts, x_buf);
+
+        // Virtual cost of the whole step on the modeled hardware.
+        dev.account_step(self.spec.train_flops_per_example(), batch);
+        Ok(batch_loss)
+    }
+
+    /// Free all device allocations.
+    pub fn destroy(self) {
+        for b in self
+            .weights
+            .iter()
+            .chain(&self.biases)
+            .chain(&self.grad_w)
+            .chain(&self.grad_b)
+        {
+            let _ = self.device.mem().free(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_nn::{InitScheme, MlpSpec};
+
+    fn host_model() -> Model {
+        Model::new(MlpSpec::tiny(4, 3), InitScheme::Xavier, 21)
+    }
+
+    fn batch() -> (Matrix, Vec<u32>) {
+        let x = Matrix::from_fn(6, 4, |i, j| ((i * 4 + j) as f32 * 0.37).sin());
+        let y = vec![0, 1, 2, 0, 1, 2];
+        (x, y)
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let dev = GpuDevice::v100();
+        let m = host_model();
+        let g = GpuMlp::upload(&dev, &m).unwrap();
+        assert_eq!(g.download(), m);
+        g.destroy();
+        assert_eq!(dev.mem().used_bytes(), 0);
+    }
+
+    #[test]
+    fn train_step_matches_host_sgd() {
+        let dev = GpuDevice::v100();
+        let mut host = host_model();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let (x, y) = batch();
+
+        let gpu_loss = gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
+        let (host_loss, grad) =
+            hetero_nn::loss_and_gradient(&host, &x, Targets::Classes(&y), false);
+        host.apply_gradient(&grad, 0.1);
+
+        assert!((gpu_loss - host_loss).abs() < 1e-5, "{gpu_loss} vs {host_loss}");
+        let downloaded = gpu.download();
+        let (a, b) = (downloaded.flatten(), host.flatten());
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+        gpu.destroy();
+    }
+
+    #[test]
+    fn multiple_steps_reduce_loss() {
+        let dev = GpuDevice::v100();
+        let host = host_model();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let (x, y) = batch();
+        let first = gpu.train_step(&x, Targets::Classes(&y), 0.5).unwrap();
+        let mut last = first;
+        for _ in 0..80 {
+            last = gpu.train_step(&x, Targets::Classes(&y), 0.5).unwrap();
+        }
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        gpu.destroy();
+    }
+
+    #[test]
+    fn train_step_leaves_no_temp_allocations() {
+        let dev = GpuDevice::v100();
+        let host = host_model();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let base = dev.mem().used_bytes();
+        let (x, y) = batch();
+        gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
+        assert_eq!(dev.mem().used_bytes(), base, "leaked device buffers");
+        gpu.destroy();
+        assert_eq!(dev.mem().used_bytes(), 0);
+    }
+
+    #[test]
+    fn train_step_accounts_virtual_time() {
+        let dev = GpuDevice::v100();
+        let host = host_model();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let t0 = dev.virtual_time();
+        let (x, y) = batch();
+        gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
+        assert!(dev.virtual_time() > t0);
+        gpu.destroy();
+    }
+
+    #[test]
+    fn oom_mid_step_frees_temporaries() {
+        let mut perf = hetero_sim::GpuModel::v100();
+        // Room for the model + a couple of activations but not a huge batch.
+        perf.memory = 40_000;
+        let dev = GpuDevice::new(perf);
+        let host = host_model();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let base = dev.mem().used_bytes();
+        let x = Matrix::from_fn(2000, 4, |_, _| 0.5);
+        let y: Vec<u32> = vec![0; 2000];
+        let r = gpu.train_step(&x, Targets::Classes(&y), 0.1);
+        assert!(r.is_err(), "expected OOM");
+        assert_eq!(dev.mem().used_bytes(), base, "leak after failed step");
+        gpu.destroy();
+    }
+
+    #[test]
+    fn refresh_overwrites_replica() {
+        let dev = GpuDevice::v100();
+        let m1 = host_model();
+        let m2 = Model::new(m1.spec().clone(), InitScheme::Constant(0.5), 0);
+        let gpu = GpuMlp::upload(&dev, &m1).unwrap();
+        gpu.refresh(&m2);
+        assert_eq!(gpu.download(), m2);
+        gpu.destroy();
+    }
+
+    #[test]
+    fn multilabel_train_step_runs() {
+        let spec = MlpSpec {
+            input_dim: 4,
+            hidden: vec![8],
+            classes: 5,
+            activation: hetero_nn::Activation::Sigmoid,
+            loss: LossKind::MultiLabelBce,
+        };
+        let host = Model::new(spec, InitScheme::Xavier, 2);
+        let dev = GpuDevice::v100();
+        let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
+        let x = Matrix::from_fn(3, 4, |i, j| (i as f32 - j as f32) * 0.2);
+        let y = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0, 0.0],
+        ]);
+        let l = gpu.train_step(&x, Targets::MultiHot(&y), 0.1).unwrap();
+        assert!(l.is_finite() && l > 0.0);
+        gpu.destroy();
+    }
+}

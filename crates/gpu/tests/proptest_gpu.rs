@@ -1,0 +1,97 @@
+//! Property tests for the software GPU: allocator accounting, kernel/host
+//! equivalence, and the on-device training step.
+
+use hetero_gpu::{GpuDevice, GpuMlp};
+use hetero_nn::{loss_and_gradient, InitScheme, MlpSpec, Model, Targets};
+use hetero_sim::GpuModel;
+use hetero_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allocator accounting is exact under arbitrary alloc/free sequences.
+    #[test]
+    fn allocator_accounting_exact(ops in prop::collection::vec((1usize..500, any::<bool>()), 1..100)) {
+        let mem = hetero_gpu::DeviceMemory::new(1 << 22);
+        let mut live: Vec<(hetero_gpu::BufferId, usize)> = Vec::new();
+        let mut expected = 0u64;
+        for (len, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (id, l) = live.swap_remove(0);
+                mem.free(id).unwrap();
+                expected -= 4 * l as u64;
+            } else if let Ok(id) = mem.alloc(len) {
+                live.push((id, len));
+                expected += 4 * len as u64;
+            }
+            prop_assert_eq!(mem.used_bytes(), expected);
+            prop_assert_eq!(mem.live_buffers(), live.len());
+        }
+        for (id, _) in live {
+            mem.free(id).unwrap();
+        }
+        prop_assert_eq!(mem.used_bytes(), 0);
+    }
+
+    /// One device train step equals the host-side SGD step for arbitrary
+    /// architectures and batches (the cuBLAS-replacement contract).
+    #[test]
+    fn device_step_equals_host_step(
+        hidden in prop::collection::vec(2usize..8, 0..3),
+        batch in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let spec = MlpSpec {
+            input_dim: 5,
+            hidden,
+            classes: 3,
+            activation: hetero_nn::Activation::Sigmoid,
+            loss: hetero_nn::LossKind::SoftmaxCrossEntropy,
+        };
+        let mut host = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let device = GpuDevice::v100();
+        let mut gpu = GpuMlp::upload(&device, &host).unwrap();
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let x = Matrix::from_fn(batch, 5, |_, _| next());
+        let y: Vec<u32> = (0..batch).map(|i| (i % 3) as u32).collect();
+
+        let gpu_loss = gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
+        let (host_loss, g) = loss_and_gradient(&host, &x, Targets::Classes(&y), false);
+        host.apply_gradient(&g, 0.1);
+
+        prop_assert!((gpu_loss - host_loss).abs() < 1e-4, "{gpu_loss} vs {host_loss}");
+        for (a, b) in gpu.download().flatten().iter().zip(host.flatten().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        gpu.destroy();
+        prop_assert_eq!(device.mem().used_bytes(), 0);
+    }
+
+    /// Transfer stats add up exactly across arbitrary transfer sequences.
+    #[test]
+    fn transfer_stats_exact(sizes in prop::collection::vec(1usize..1000, 1..20)) {
+        let device = GpuDevice::new(GpuModel::v100());
+        let mut h2d = 0u64;
+        let mut d2h = 0u64;
+        for len in sizes {
+            let data = vec![0.25f32; len];
+            let buf = device.h2d(&data).unwrap();
+            h2d += 4 * len as u64;
+            let _ = device.d2h(buf);
+            d2h += 4 * len as u64;
+            device.mem().free(buf).unwrap();
+        }
+        let stats = device.transfer_stats();
+        prop_assert_eq!(stats.h2d_bytes, h2d);
+        prop_assert_eq!(stats.d2h_bytes, d2h);
+        prop_assert!(device.virtual_time() > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Stress tests for streams, events, and the device under concurrency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hetero_gpu::{Event, GpuDevice, Stream};
+
+#[test]
+fn many_streams_execute_independently() {
+    let streams: Vec<Stream> = (0..8).map(|i| Stream::new(format!("s{i}"))).collect();
+    let counter = Arc::new(AtomicUsize::new(0));
+    for s in &streams {
+        for _ in 0..200 {
+            let c = Arc::clone(&counter);
+            s.launch(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    }
+    for s in &streams {
+        s.synchronize();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 8 * 200);
+}
+
+#[test]
+fn event_chain_enforces_total_order() {
+    // Build a chain of streams where each waits on the previous one's event;
+    // the counter must be strictly sequential across streams.
+    let streams: Vec<Stream> = (0..5).map(|i| Stream::new(format!("chain{i}"))).collect();
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut prev_event: Option<Event> = None;
+    for (i, s) in streams.iter().enumerate() {
+        if let Some(e) = prev_event.take() {
+            s.wait_event(e);
+        }
+        let log = Arc::clone(&log);
+        s.launch(move || log.lock().push(i));
+        prev_event = Some(s.record_event());
+    }
+    prev_event.unwrap().wait();
+    assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn events_are_shareable_across_threads() {
+    let s = Stream::new("shared-events");
+    let gate = Event::new();
+    assert!(!gate.query());
+    s.launch(|| std::thread::sleep(std::time::Duration::from_millis(30)));
+    let e = s.record_event();
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.wait();
+                assert!(e.query());
+            })
+        })
+        .collect();
+    for w in waiters {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_device_transfers_consistent() {
+    let dev = Arc::new(GpuDevice::v100());
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let dev = Arc::clone(&dev);
+            std::thread::spawn(move || {
+                for i in 0..100usize {
+                    let data = vec![(t * 1000 + i) as f32; 64];
+                    let buf = dev.h2d(&data).unwrap();
+                    let back = dev.d2h(buf);
+                    assert_eq!(back, data, "transfer corrupted");
+                    dev.mem().free(buf).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(dev.mem().used_bytes(), 0);
+    let stats = dev.transfer_stats();
+    assert_eq!(stats.h2d_count, 600);
+    assert_eq!(stats.d2h_count, 600);
+    assert_eq!(stats.h2d_bytes, 600 * 64 * 4);
+}
+
+#[test]
+fn stream_survives_panicking_free_of_foreign_buffer() {
+    // Freeing an invalid buffer returns Err (not a panic) — the stream and
+    // device stay usable afterwards.
+    let dev = GpuDevice::v100();
+    let buf = dev.mem().alloc(8).unwrap();
+    dev.mem().free(buf).unwrap();
+    assert!(dev.mem().free(buf).is_err());
+    let buf2 = dev.mem().alloc(8).unwrap();
+    assert_eq!(dev.mem().len(buf2), 8);
+    dev.mem().free(buf2).unwrap();
+}

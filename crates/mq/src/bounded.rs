@@ -1,0 +1,302 @@
+//! Bounded MPSC channel with blocking backpressure.
+//!
+//! The unbounded [`crate::channel()`] is right for control messages (a worker
+//! has at most one outstanding request), but a production coordinator also
+//! needs backpressure when producers can outrun the consumer — e.g. result
+//! aggregation from many workers. [`bounded`] provides that: `send` blocks
+//! while the queue holds `capacity` messages, `try_send` fails fast.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+pub use crate::channel::{RecvError, RecvTimeoutError, TryRecvError};
+
+/// Error returned by [`BoundedSender::try_send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`BoundedSender::send`] when the receiver is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedSendError<T>(pub T);
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    capacity: usize,
+    /// Signaled when the queue transitions non-full.
+    not_full: Condvar,
+    /// Signaled when the queue transitions non-empty.
+    not_empty: Condvar,
+    senders: AtomicUsize,
+    receiver_alive: AtomicBool,
+}
+
+/// Sending half of a bounded channel (cloneable).
+pub struct BoundedSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a bounded channel.
+pub struct BoundedReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded MPSC channel holding at most `capacity` messages.
+///
+/// # Panics
+/// Panics on zero capacity (rendezvous channels are not supported).
+pub fn bounded<T: Send>(capacity: usize) -> (BoundedSender<T>, BoundedReceiver<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicBool::new(true),
+    });
+    (
+        BoundedSender {
+            shared: Arc::clone(&shared),
+        },
+        BoundedReceiver { shared },
+    )
+}
+
+impl<T: Send> BoundedSender<T> {
+    /// Enqueue, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), BoundedSendError<T>> {
+        let mut q = self.shared.queue.lock();
+        loop {
+            if !self.shared.receiver_alive.load(Ordering::Acquire) {
+                return Err(BoundedSendError(value));
+            }
+            if q.len() < self.shared.capacity {
+                q.push_back(value);
+                drop(q);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut q);
+        }
+    }
+
+    /// Enqueue without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if !self.shared.receiver_alive.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let mut q = self.shared.queue.lock();
+        if q.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        q.push_back(value);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// True when no messages are queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        BoundedSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for BoundedSender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T: Send> BoundedReceiver<T> {
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            self.shared.not_empty.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock();
+        if let Some(v) = q.pop_front() {
+            drop(q);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            if self.shared.not_empty.wait_until(&mut q, deadline).timed_out() {
+                return match q.pop_front() {
+                    Some(v) => {
+                        drop(q);
+                        self.shared.not_full.notify_one();
+                        Ok(v)
+                    }
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.receiver_alive.store(false, Ordering::Release);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn basic_roundtrip() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_full() {
+        let (tx, _rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || {
+            // Blocks until the consumer drains.
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(h.join().unwrap(), Err(BoundedSendError(2)));
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = bounded(4);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn backpressure_bounds_queue_under_contention() {
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut count = 0;
+        while let Ok(_) = rx.recv() {
+            count += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(count, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        bounded::<u8>(0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Blocking unbounded MPSC channel layered on the lock-free queue.
+//!
+//! This is the control-message transport between the paper's coordinator and
+//! workers. It combines [`crate::MpscQueue`] (hot path: lock-free push) with
+//! a `parking_lot` mutex + condvar used **only** for sleeping when the queue
+//! is empty — the classic "eventcount-lite" pattern from *Rust Atomics and
+//! Locks*: producers take the lock only to wake a parked consumer.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::queue::MpscQueue;
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "send on a channel with no receiver")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when every sender is gone and the
+/// queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "recv on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty (senders still alive).
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline elapsed with no message.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: MpscQueue<T>,
+    senders: AtomicUsize,
+    receiver_alive: AtomicBool,
+    /// Guards nothing but the sleep/wake protocol.
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+}
+
+/// Sending half; cheap to clone (one per worker thread).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; exactly one exists per channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded MPSC channel.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: MpscQueue::new(),
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicBool::new(true),
+        sleep_lock: Mutex::new(()),
+        wakeup: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Enqueue a message, waking the receiver if it is parked.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if !self.shared.receiver_alive.load(Ordering::Acquire) {
+            return Err(SendError(value));
+        }
+        self.shared.queue.push(value);
+        // Wake a parked receiver. Taking the lock orders this notify after
+        // the receiver's "queue is empty" check, closing the lost-wakeup race.
+        let _guard = self.shared.sleep_lock.lock();
+        self.shared.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Number of live senders (including this one).
+    pub fn sender_count(&self) -> usize {
+        self.shared.senders.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake the receiver so it can observe disconnection.
+            let _guard = self.shared.sleep_lock.lock();
+            self.shared.wakeup.notify_one();
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match self.shared.queue.pop_spin() {
+            Some(v) => Ok(v),
+            None => {
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    // Re-check: a message may have been pushed before the
+                    // last sender dropped.
+                    match self.shared.queue.pop_spin() {
+                        Some(v) => Ok(v),
+                        None => Err(TryRecvError::Disconnected),
+                    }
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+        }
+    }
+
+    /// Blocking receive; returns `Err(RecvError)` only after every sender
+    /// dropped *and* the queue drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {
+                    let mut guard = self.shared.sleep_lock.lock();
+                    // Re-check under the lock to avoid sleeping through a
+                    // send that raced with the check above.
+                    match self.try_recv() {
+                        Ok(v) => return Ok(v),
+                        Err(TryRecvError::Disconnected) => return Err(RecvError),
+                        Err(TryRecvError::Empty) => {
+                            self.shared.wakeup.wait(&mut guard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    let mut guard = self.shared.sleep_lock.lock();
+                    match self.try_recv() {
+                        Ok(v) => return Ok(v),
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(RecvTimeoutError::Disconnected)
+                        }
+                        Err(TryRecvError::Empty) => {
+                            if self
+                                .shared
+                                .wakeup
+                                .wait_until(&mut guard, deadline)
+                                .timed_out()
+                            {
+                                // One final drain attempt at the deadline.
+                                drop(guard);
+                                return match self.try_recv() {
+                                    Ok(v) => Ok(v),
+                                    Err(TryRecvError::Disconnected) => {
+                                        Err(RecvTimeoutError::Disconnected)
+                                    }
+                                    Err(TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain everything currently queued without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Ok(v) = self.try_recv() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receiver_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("senders", &self.shared.senders.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn try_recv_empty_then_value() {
+        let (tx, rx) = channel();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = channel::<u32>();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = channel();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send("late").unwrap();
+        });
+        assert_eq!(rx.recv(), Ok("late"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn clone_tracks_sender_count() {
+        let (tx, rx) = channel::<()>();
+        assert_eq!(tx.sender_count(), 1);
+        let tx2 = tx.clone();
+        assert_eq!(tx.sender_count(), 2);
+        drop(tx2);
+        assert_eq!(tx.sender_count(), 1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn many_senders_all_messages_arrive() {
+        let (tx, rx) = channel();
+        let senders = 8;
+        let per = 2000usize;
+        let handles: Vec<_> = (0..senders)
+            .map(|_| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut sum = 0usize;
+        let mut n = 0usize;
+        while let Ok(v) = rx.recv() {
+            sum += v;
+            n += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n, senders * per);
+        assert_eq!(sum, senders * per * (per - 1) / 2);
+    }
+
+    #[test]
+    fn drain_collects_pending() {
+        let (tx, rx) = channel();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.drain().is_empty());
+    }
+
+    #[test]
+    fn ping_pong_two_channels() {
+        // Coordinator/worker round trips — the framework's actual topology.
+        let (to_worker_tx, to_worker_rx) = channel();
+        let (to_coord_tx, to_coord_rx) = channel();
+        let worker = thread::spawn(move || {
+            while let Ok(v) = to_worker_rx.recv() {
+                if v == 0 {
+                    break;
+                }
+                to_coord_tx.send(v * 2).unwrap();
+            }
+        });
+        for i in 1..=100 {
+            to_worker_tx.send(i).unwrap();
+            assert_eq!(to_coord_rx.recv(), Ok(i * 2));
+        }
+        to_worker_tx.send(0).unwrap();
+        worker.join().unwrap();
+        assert_eq!(to_coord_rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property and stress tests for the message-queue substrate.
+
+use std::sync::Arc;
+use std::thread;
+
+use hetero_mq::{channel, MpscQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-threaded queue behaves exactly like a VecDeque.
+    #[test]
+    fn queue_matches_vecdeque(ops in prop::collection::vec(any::<Option<u16>>(), 0..200)) {
+        let q = MpscQueue::new();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.push(v);
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(q.pop_spin(), model.pop_front());
+                }
+            }
+        }
+        // Drain and compare the tails.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(q.pop_spin(), Some(expected));
+        }
+        prop_assert_eq!(q.pop_spin(), None);
+    }
+
+    /// Channel delivers every message exactly once under concurrency, and
+    /// preserves per-sender order.
+    #[test]
+    fn channel_exactly_once(producers in 1usize..6, per in 1usize..400) {
+        let (tx, rx) = channel();
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        tx.send((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut last = vec![-1i64; producers];
+        let mut count = 0usize;
+        while let Ok((p, i)) = rx.recv() {
+            prop_assert!((i as i64) > last[p], "per-sender order violated");
+            last[p] = i as i64;
+            count += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(count, producers * per);
+    }
+}
+
+#[test]
+fn queue_shared_across_threads_via_arc() {
+    let q = Arc::new(MpscQueue::new());
+    let q2 = Arc::clone(&q);
+    let producer = thread::spawn(move || {
+        for i in 0..10_000u32 {
+            q2.push(i);
+        }
+    });
+    let mut next = 0u32;
+    while next < 10_000 {
+        if let Some(v) = q.pop_spin() {
+            assert_eq!(v, next, "single-producer order must be FIFO");
+            next += 1;
+        }
+    }
+    producer.join().unwrap();
+}
+
+#[test]
+fn channel_high_contention_torture() {
+    let (tx, rx) = channel();
+    let producers = 16;
+    let per = 10_000usize;
+    let handles: Vec<_> = (0..producers)
+        .map(|_| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..per {
+                    tx.send(i as u64).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut n = 0usize;
+    let mut sum = 0u64;
+    while let Ok(v) = rx.recv() {
+        n += 1;
+        sum += v;
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(n, producers * per);
+    assert_eq!(sum, (producers as u64) * (per as u64) * (per as u64 - 1) / 2);
+}

@@ -1,0 +1,132 @@
+//! Hidden-layer activation functions.
+//!
+//! The paper uses sigmoid in all hidden layers (§VII-A). ReLU and tanh are
+//! provided as well so the framework can serve as the "generic testbed" the
+//! paper advertises.
+
+use hetero_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied to a layer's pre-activation output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Logistic sigmoid — the paper's hidden activation.
+    #[default]
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no non-linearity); useful for linear probes and tests.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    pub fn apply(&self, m: &mut Matrix) {
+        match self {
+            Activation::Sigmoid => ops::sigmoid_inplace(m),
+            Activation::Relu => ops::map_inplace(m, |x| x.max(0.0)),
+            Activation::Tanh => ops::map_inplace(m, f32::tanh),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Derivative expressed **in terms of the activation output** `a = f(z)`.
+    ///
+    /// All four supported activations admit this form, which lets the
+    /// backward pass avoid storing pre-activations:
+    /// σ' = a(1-a), relu' = 1 if a>0 else 0, tanh' = 1-a², id' = 1.
+    pub fn derivative_from_output(&self, a: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Multiply `delta` in place by `f'(z)` computed from the stored output.
+    pub fn mul_derivative(&self, output: &Matrix, delta: &mut Matrix) {
+        assert_eq!(output.shape(), delta.shape(), "activation shape mismatch");
+        if matches!(self, Activation::Identity) {
+            return;
+        }
+        for (d, &a) in delta.as_mut_slice().iter_mut().zip(output.as_slice()) {
+            *d *= self.derivative_from_output(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(act: Activation, x: f32) -> f32 {
+        let h = 1e-3;
+        let mut lo = Matrix::from_rows(&[&[x - h]]);
+        let mut hi = Matrix::from_rows(&[&[x + h]]);
+        act.apply(&mut lo);
+        act.apply(&mut hi);
+        (hi.get(0, 0) - lo.get(0, 0)) / (2.0 * h)
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for &x in &[-2.0f32, -0.5, 0.1, 1.7] {
+                let mut m = Matrix::from_rows(&[&[x]]);
+                act.apply(&mut m);
+                let analytic = act.derivative_from_output(m.get(0, 0));
+                let numeric = finite_diff(act, x);
+                assert!(
+                    (analytic - numeric).abs() < 1e-3,
+                    "{act:?} at {x}: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // ReLU away from the kink.
+        for &x in &[-1.0f32, 1.0] {
+            let mut m = Matrix::from_rows(&[&[x]]);
+            Activation::Relu.apply(&mut m);
+            let analytic = Activation::Relu.derivative_from_output(m.get(0, 0));
+            assert_eq!(analytic, if x > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_rows(&[&[-3.0, 0.0, 2.0]]);
+        Activation::Relu.apply(&mut m);
+        assert_eq!(m, Matrix::from_rows(&[&[0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn sigmoid_outputs_in_unit_interval() {
+        let mut m = Matrix::from_rows(&[&[-10.0, 0.0, 10.0]]);
+        Activation::Sigmoid.apply(&mut m);
+        assert!(m.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mul_derivative_identity_is_noop() {
+        let out = Matrix::full(2, 2, 0.3);
+        let mut delta = Matrix::full(2, 2, 5.0);
+        Activation::Identity.mul_derivative(&out, &mut delta);
+        assert_eq!(delta, Matrix::full(2, 2, 5.0));
+    }
+
+    #[test]
+    fn mul_derivative_sigmoid_scales() {
+        let out = Matrix::full(1, 1, 0.5);
+        let mut delta = Matrix::full(1, 1, 4.0);
+        Activation::Sigmoid.mul_derivative(&out, &mut delta);
+        assert!((delta.get(0, 0) - 1.0).abs() < 1e-6); // 4 * 0.25
+    }
+}

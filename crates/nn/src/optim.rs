@@ -1,0 +1,297 @@
+//! First-order optimizers.
+//!
+//! The paper's framework is "a generic testbed to evaluate existing SGD
+//! algorithms and develop new ones" (§V), and its reference list spans the
+//! classic optimizer family. This module provides the standard update
+//! rules over [`Model`] parameters; the asynchronous Hogbatch engines use
+//! plain SGD (as the paper does), while the optimizers here power the
+//! sequential baselines, the SVRG implementation, and the testbed role.
+//!
+//! All state is stored flat (aligned with [`Model::flatten`]) so an
+//! optimizer can be checkpointed alongside the model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Model;
+
+/// Which update rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Vanilla SGD: `w ← w − η·g` (what the paper's algorithms use).
+    Sgd,
+    /// Heavy-ball momentum: `v ← µ·v + g; w ← w − η·v`.
+    Momentum {
+        /// Momentum coefficient µ (typically 0.9).
+        mu: f32,
+    },
+    /// Nesterov accelerated gradient (PyTorch-style formulation):
+    /// `v ← µ·v + g; w ← w − η·(g + µ·v)`.
+    Nesterov {
+        /// Momentum coefficient µ.
+        mu: f32,
+    },
+    /// Adagrad: per-parameter rates `w ← w − η·g/√(Σg² + ε)`.
+    Adagrad {
+        /// Numerical-stability floor ε.
+        eps: f32,
+    },
+    /// Adam (Kingma & Ba): bias-corrected first/second moments.
+    Adam {
+        /// First-moment decay β₁ (typically 0.9).
+        beta1: f32,
+        /// Second-moment decay β₂ (typically 0.999).
+        beta2: f32,
+        /// Numerical-stability floor ε.
+        eps: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Reasonable defaults for each rule.
+    pub fn momentum() -> Self {
+        OptimizerKind::Momentum { mu: 0.9 }
+    }
+
+    /// Nesterov with µ = 0.9.
+    pub fn nesterov() -> Self {
+        OptimizerKind::Nesterov { mu: 0.9 }
+    }
+
+    /// Adagrad with ε = 1e-8.
+    pub fn adagrad() -> Self {
+        OptimizerKind::Adagrad { eps: 1e-8 }
+    }
+
+    /// Adam with the canonical (0.9, 0.999, 1e-8).
+    pub fn adam() -> Self {
+        OptimizerKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Stateful optimizer over one model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// Velocity / first moment, flat.
+    m: Vec<f32>,
+    /// Second moment (Adam) or squared-gradient accumulator (Adagrad).
+    v: Vec<f32>,
+    /// Steps taken (Adam bias correction).
+    t: u64,
+}
+
+impl Optimizer {
+    /// Optimizer for a model with `num_params` scalars.
+    pub fn new(kind: OptimizerKind, num_params: usize) -> Self {
+        let needs_m = !matches!(kind, OptimizerKind::Sgd | OptimizerKind::Adagrad { .. });
+        let needs_v = matches!(
+            kind,
+            OptimizerKind::Adagrad { .. } | OptimizerKind::Adam { .. }
+        );
+        Optimizer {
+            kind,
+            m: if needs_m { vec![0.0; num_params] } else { Vec::new() },
+            v: if needs_v { vec![0.0; num_params] } else { Vec::new() },
+            t: 0,
+        }
+    }
+
+    /// The update rule in use.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update: `model ← model - η·direction(grad)`.
+    ///
+    /// # Panics
+    /// Panics if `grad` has a different spec than `model`, or if the
+    /// optimizer was sized for a different parameter count.
+    pub fn step(&mut self, model: &mut Model, grad: &Model, eta: f32) {
+        assert_eq!(model.spec(), grad.spec(), "gradient spec mismatch");
+        self.t += 1;
+        match self.kind {
+            OptimizerKind::Sgd => {
+                model.apply_gradient(grad, eta);
+            }
+            OptimizerKind::Momentum { mu } => {
+                let g = grad.flatten();
+                assert_eq!(g.len(), self.m.len(), "optimizer sized for another model");
+                let mut w = model.flatten();
+                for ((wi, gi), mi) in w.iter_mut().zip(&g).zip(self.m.iter_mut()) {
+                    *mi = mu * *mi + gi;
+                    *wi -= eta * *mi;
+                }
+                *model = Model::unflatten(model.spec(), &w);
+            }
+            OptimizerKind::Nesterov { mu } => {
+                let g = grad.flatten();
+                assert_eq!(g.len(), self.m.len(), "optimizer sized for another model");
+                let mut w = model.flatten();
+                for ((wi, gi), mi) in w.iter_mut().zip(&g).zip(self.m.iter_mut()) {
+                    *mi = mu * *mi + gi;
+                    *wi -= eta * (gi + mu * *mi);
+                }
+                *model = Model::unflatten(model.spec(), &w);
+            }
+            OptimizerKind::Adagrad { eps } => {
+                let g = grad.flatten();
+                assert_eq!(g.len(), self.v.len(), "optimizer sized for another model");
+                let mut w = model.flatten();
+                for ((wi, gi), vi) in w.iter_mut().zip(&g).zip(self.v.iter_mut()) {
+                    *vi += gi * gi;
+                    *wi -= eta * gi / (vi.sqrt() + eps);
+                }
+                *model = Model::unflatten(model.spec(), &w);
+            }
+            OptimizerKind::Adam { beta1, beta2, eps } => {
+                let g = grad.flatten();
+                assert_eq!(g.len(), self.m.len(), "optimizer sized for another model");
+                let mut w = model.flatten();
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for (((wi, gi), mi), vi) in w
+                    .iter_mut()
+                    .zip(&g)
+                    .zip(self.m.iter_mut())
+                    .zip(self.v.iter_mut())
+                {
+                    *mi = beta1 * *mi + (1.0 - beta1) * gi;
+                    *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *wi -= eta * m_hat / (v_hat.sqrt() + eps);
+                }
+                *model = Model::unflatten(model.spec(), &w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::loss_and_gradient;
+    use crate::forward::Targets;
+    use crate::init::InitScheme;
+    use crate::spec::MlpSpec;
+    use hetero_tensor::Matrix;
+
+    fn toy_problem() -> (Model, Matrix, Vec<u32>) {
+        let spec = MlpSpec::tiny(2, 2);
+        let model = Model::new(spec, InitScheme::Xavier, 4);
+        let x = Matrix::from_fn(30, 2, |i, j| {
+            let s = if i < 15 { 1.0 } else { -1.0 };
+            s * (1.0 + 0.1 * ((i + j) as f32).sin())
+        });
+        let y: Vec<u32> = (0..30).map(|i| if i < 15 { 0 } else { 1 }).collect();
+        (model, x, y)
+    }
+
+    fn train_loss(kind: OptimizerKind, eta: f32, steps: usize) -> (f32, f32) {
+        let (mut model, x, y) = toy_problem();
+        let mut opt = Optimizer::new(kind, model.num_params());
+        let (first, _) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+        let mut last = first;
+        for _ in 0..steps {
+            let (l, g) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+            opt.step(&mut model, &g, eta);
+            last = l;
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_matches_apply_gradient() {
+        let (mut a, x, y) = toy_problem();
+        let mut b = a.clone();
+        let mut opt = Optimizer::new(OptimizerKind::Sgd, a.num_params());
+        let (_, g) = loss_and_gradient(&a, &x, Targets::Classes(&y), false);
+        opt.step(&mut a, &g, 0.1);
+        b.apply_gradient(&g, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn every_optimizer_converges_on_toy_problem() {
+        for (kind, eta) in [
+            (OptimizerKind::Sgd, 0.5),
+            (OptimizerKind::momentum(), 0.1),
+            (OptimizerKind::nesterov(), 0.1),
+            (OptimizerKind::adagrad(), 0.5),
+            (OptimizerKind::adam(), 0.05),
+        ] {
+            let (first, last) = train_loss(kind, eta, 120);
+            assert!(
+                last < first * 0.6,
+                "{kind:?}: {first} -> {last} did not converge"
+            );
+            assert!(last.is_finite());
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        // Two steps with a constant gradient must move farther than 2×
+        // a single step (velocity compounds).
+        let spec = MlpSpec::tiny(2, 2);
+        let mut m = Model::new(spec.clone(), InitScheme::Constant(0.0), 0);
+        let mut g = Model::zeros_like(&spec);
+        g.layers_mut()[0].w.set(0, 0, 1.0);
+        let mut opt = Optimizer::new(OptimizerKind::Momentum { mu: 0.9 }, m.num_params());
+        opt.step(&mut m, &g, 0.1);
+        opt.step(&mut m, &g, 0.1);
+        let moved = -m.layers()[0].w.get(0, 0);
+        // Plain SGD would move 0.2; momentum moves 0.1·(1 + 1.9) = 0.29.
+        assert!((moved - 0.29).abs() < 1e-6, "moved {moved}");
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_rate() {
+        let spec = MlpSpec::tiny(2, 2);
+        let mut m = Model::new(spec.clone(), InitScheme::Constant(0.0), 0);
+        let mut g = Model::zeros_like(&spec);
+        g.layers_mut()[0].w.set(0, 0, 2.0);
+        let mut opt = Optimizer::new(OptimizerKind::Adagrad { eps: 1e-8 }, m.num_params());
+        opt.step(&mut m, &g, 0.1);
+        let step1 = -m.layers()[0].w.get(0, 0);
+        opt.step(&mut m, &g, 0.1);
+        let step2 = -m.layers()[0].w.get(0, 0) - step1;
+        assert!(step2 < step1, "adagrad steps must shrink: {step1} then {step2}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, Adam's first step ≈ η regardless of
+        // gradient magnitude.
+        let spec = MlpSpec::tiny(2, 2);
+        for scale in [0.01f32, 1.0, 100.0] {
+            let mut m = Model::new(spec.clone(), InitScheme::Constant(0.0), 0);
+            let mut g = Model::zeros_like(&spec);
+            g.layers_mut()[0].w.set(0, 0, scale);
+            let mut opt = Optimizer::new(OptimizerKind::adam(), m.num_params());
+            opt.step(&mut m, &g, 0.1);
+            let moved = -m.layers()[0].w.get(0, 0);
+            assert!((moved - 0.1).abs() < 1e-3, "scale {scale}: moved {moved}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for another model")]
+    fn wrong_size_state_panics() {
+        let spec = MlpSpec::tiny(2, 2);
+        let mut m = Model::new(spec.clone(), InitScheme::Xavier, 0);
+        let g = Model::zeros_like(&spec);
+        let mut opt = Optimizer::new(OptimizerKind::momentum(), 3);
+        opt.step(&mut m, &g, 0.1);
+    }
+}

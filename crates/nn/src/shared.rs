@@ -1,0 +1,313 @@
+//! The framework's *global model*: shared, concurrently-updated parameters.
+//!
+//! §V of the paper: CPU workers access the global model **by reference** and
+//! update it Hogwild-style — concurrent, unsynchronized read–modify–write,
+//! where lost updates are tolerated by design. GPU workers keep a **deep
+//! copy** replica and merge it back asynchronously.
+//!
+//! In Rust, "benign" data races are still UB on plain `f32`, so the storage
+//! is a flat `Vec<AtomicU32>` holding f32 bit patterns accessed with
+//! `Relaxed` ordering. Two update flavours are provided:
+//!
+//! - [`SharedModel::apply_gradient_racy`] — load/compute/store per element.
+//!   Concurrent writers can overwrite each other, which is *exactly* the
+//!   Hogwild semantics the paper relies on (conflicts happen, convergence
+//!   survives).
+//! - [`SharedModel::apply_gradient_atomic`] — per-element CAS loop; no
+//!   update is ever lost. Used to study the effect of lost updates (the
+//!   paper's β parameter quantifies the "surviving fraction").
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::model::Model;
+use crate::spec::MlpSpec;
+
+/// Shared parameter store for concurrent SGD.
+pub struct SharedModel {
+    spec: MlpSpec,
+    params: Vec<AtomicU32>,
+    /// Total number of model updates applied (any worker).
+    updates: AtomicU64,
+}
+
+impl SharedModel {
+    /// Wrap an initial model into shared storage.
+    pub fn new(model: &Model) -> Self {
+        let params = model
+            .flatten()
+            .into_iter()
+            .map(|v| AtomicU32::new(v.to_bits()))
+            .collect();
+        SharedModel {
+            spec: model.spec().clone(),
+            params,
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// Network specification of the stored model.
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total updates applied so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Read the current parameters into a flat vector (relaxed loads; the
+    /// snapshot may interleave with concurrent updates — by design).
+    pub fn read_flat(&self) -> Vec<f32> {
+        self.params
+            .iter()
+            .map(|p| f32::from_bits(p.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Deep-copy snapshot as a [`Model`] — what a GPU worker transfers to
+    /// device memory, and what the coordinator evaluates the loss on.
+    pub fn snapshot(&self) -> Model {
+        Model::unflatten(&self.spec, &self.read_flat())
+    }
+
+    /// Overwrite the stored parameters from a model (merging a deep replica
+    /// back; concurrent readers may observe a mix of old and new values).
+    pub fn store(&self, model: &Model) {
+        assert_eq!(model.spec(), &self.spec, "replica spec mismatch");
+        for (p, v) in self.params.iter().zip(model.flatten()) {
+            p.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Hogwild update: `w ← w − eta·g` with racy per-element load/store.
+    ///
+    /// Lost updates under contention are expected and tolerated — this is
+    /// the paper's CPU-worker update path.
+    pub fn apply_gradient_racy(&self, grad: &Model, eta: f32) {
+        assert_eq!(grad.spec(), &self.spec, "gradient spec mismatch");
+        let mut idx = 0;
+        for layer in grad.layers() {
+            for &g in layer.w.as_slice() {
+                let p = &self.params[idx];
+                let cur = f32::from_bits(p.load(Ordering::Relaxed));
+                p.store((cur - eta * g).to_bits(), Ordering::Relaxed);
+                idx += 1;
+            }
+            for &g in &layer.b {
+                let p = &self.params[idx];
+                let cur = f32::from_bits(p.load(Ordering::Relaxed));
+                p.store((cur - eta * g).to_bits(), Ordering::Relaxed);
+                idx += 1;
+            }
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lock-free exact update: per-element CAS loop; never loses a write.
+    pub fn apply_gradient_atomic(&self, grad: &Model, eta: f32) {
+        assert_eq!(grad.spec(), &self.spec, "gradient spec mismatch");
+        let mut idx = 0;
+        let mut apply = |g: f32| {
+            let p = &self.params[idx];
+            let mut cur = p.load(Ordering::Relaxed);
+            loop {
+                let next = (f32::from_bits(cur) - eta * g).to_bits();
+                match p.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+            idx += 1;
+        };
+        for layer in grad.layers() {
+            layer.w.as_slice().iter().for_each(|&g| apply(g));
+            layer.b.iter().for_each(|&g| apply(g));
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge a deep replica by adding its delta from `base`:
+    /// `w ← w + (replica − base)` element-wise (atomic).
+    ///
+    /// This is how a GPU worker folds its locally-trained replica into the
+    /// global model without clobbering CPU updates that landed meanwhile.
+    pub fn merge_delta(&self, base: &Model, replica: &Model) {
+        self.merge_delta_scaled(base, replica, 1.0);
+    }
+
+    /// Merge a replica delta scaled by `scale`:
+    /// `w ← w + scale·(replica − base)`.
+    ///
+    /// `scale < 1` implements the paper's §VI-B staleness compensation —
+    /// discounting a delta whose base snapshot has since gone stale.
+    pub fn merge_delta_scaled(&self, base: &Model, replica: &Model, scale: f32) {
+        assert_eq!(base.spec(), &self.spec, "base spec mismatch");
+        assert_eq!(replica.spec(), &self.spec, "replica spec mismatch");
+        assert!(scale.is_finite() && scale >= 0.0, "bad merge scale");
+        let b = base.flatten();
+        let r = replica.flatten();
+        for (p, (bv, rv)) in self.params.iter().zip(b.iter().zip(&r)) {
+            let delta = scale * (rv - bv);
+            if delta == 0.0 {
+                continue;
+            }
+            let mut cur = p.load(Ordering::Relaxed);
+            loop {
+                let next = (f32::from_bits(cur) + delta).to_bits();
+                match p.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SharedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedModel")
+            .field("params", &self.params.len())
+            .field("updates", &self.update_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitScheme;
+    use crate::spec::MlpSpec;
+    use std::sync::Arc;
+
+    fn setup() -> (Model, SharedModel) {
+        let m = Model::new(MlpSpec::tiny(3, 2), InitScheme::Xavier, 9);
+        let s = SharedModel::new(&m);
+        (m, s)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_initial_model() {
+        let (m, s) = setup();
+        assert_eq!(s.snapshot(), m);
+        assert_eq!(s.num_params(), m.num_params());
+    }
+
+    #[test]
+    fn racy_update_applied_when_uncontended() {
+        let (m, s) = setup();
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 0, 1.0);
+        s.apply_gradient_racy(&grad, 0.1);
+        let snap = s.snapshot();
+        let expect = m.layers()[0].w.get(0, 0) - 0.1;
+        assert!((snap.layers()[0].w.get(0, 0) - expect).abs() < 1e-6);
+        assert_eq!(s.update_count(), 1);
+    }
+
+    #[test]
+    fn atomic_update_equals_racy_when_serial() {
+        let (m, s1) = setup();
+        let s2 = SharedModel::new(&m);
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[1].b[0] = 2.0;
+        s1.apply_gradient_racy(&grad, 0.5);
+        s2.apply_gradient_atomic(&grad, 0.5);
+        assert_eq!(s1.read_flat(), s2.read_flat());
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let (m, s) = setup();
+        let other = Model::new(m.spec().clone(), InitScheme::Constant(0.25), 0);
+        s.store(&other);
+        assert_eq!(s.snapshot(), other);
+    }
+
+    #[test]
+    fn merge_delta_adds_difference() {
+        let (m, s) = setup();
+        // replica = base + 0.5 on one weight
+        let base = m.clone();
+        let mut replica = m.clone();
+        let old = replica.layers()[0].w.get(1, 1);
+        replica.layers_mut()[0].w.set(1, 1, old + 0.5);
+        s.merge_delta(&base, &replica);
+        let snap = s.snapshot();
+        assert!((snap.layers()[0].w.get(1, 1) - (old + 0.5)).abs() < 1e-6);
+        // Other params untouched.
+        assert_eq!(snap.layers()[1].w, m.layers()[1].w);
+    }
+
+    #[test]
+    fn atomic_concurrent_updates_none_lost() {
+        let (m, s) = setup();
+        let s = Arc::new(s);
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 0, 1.0);
+        let grad = Arc::new(grad);
+        let threads = 8;
+        let per = 500;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let g = Arc::clone(&grad);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        s.apply_gradient_atomic(&g, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = m.layers()[0].w.get(0, 0) - (threads * per) as f32;
+        let got = s.snapshot().layers()[0].w.get(0, 0);
+        assert!(
+            (got - expected).abs() < 1e-2,
+            "atomic adds lost: {got} vs {expected}"
+        );
+        assert_eq!(s.update_count(), (threads * per) as u64);
+    }
+
+    #[test]
+    fn racy_concurrent_updates_may_lose_but_stay_finite() {
+        // Hogwild semantics: the final value lies between "all lost but one"
+        // and "none lost"; it must never be corrupted.
+        let (m, s) = setup();
+        let s = Arc::new(s);
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 0, 1.0);
+        let grad = Arc::new(grad);
+        let threads = 4;
+        let per = 1000i64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let g = Arc::clone(&grad);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        s.apply_gradient_racy(&g, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let start = m.layers()[0].w.get(0, 0);
+        let got = s.snapshot().layers()[0].w.get(0, 0);
+        let applied = (start - got) as i64;
+        assert!(
+            applied >= 1 && applied <= threads as i64 * per,
+            "applied {applied} outside feasible range"
+        );
+        assert!(got.is_finite());
+    }
+}

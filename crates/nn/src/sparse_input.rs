@@ -1,0 +1,232 @@
+//! Training with a sparse input layer.
+//!
+//! For bag-of-words data like real-sim (~0.25% dense) only the **first**
+//! layer touches the input, so sparsity pays off exactly twice per step:
+//! the first forward product `X·W₁ᵀ` and the first weight gradient
+//! `∇W₁ = δ₁ᵀ·X`. Every other layer is dense regardless. This module plugs
+//! [`hetero_tensor::CsrMatrix`] into those two spots and reuses the dense
+//! pipeline everywhere else — making the paper's "process everything dense"
+//! decision (§VII-A) measurable rather than assumed.
+
+use hetero_tensor::{ops, CsrMatrix, Matrix};
+
+use crate::backward::Gradient;
+use crate::forward::{loss, ForwardPass, Targets};
+use crate::model::Model;
+use crate::spec::LossKind;
+
+/// Forward pass with a sparse batch (first layer sparse, rest dense).
+pub fn forward_sparse(model: &Model, x: &CsrMatrix, parallel: bool) -> ForwardPass {
+    assert_eq!(
+        x.cols(),
+        model.spec().input_dim,
+        "sparse batch width {} != input_dim {}",
+        x.cols(),
+        model.spec().input_dim
+    );
+    let n_layers = model.layers().len();
+    let mut activations = Vec::with_capacity(n_layers);
+
+    // Layer 1: sparse product against the pre-transposed weights.
+    let w1 = &model.layers()[0].w;
+    let mut z = x.spmm(&w1.transpose());
+    ops::add_row_broadcast(&mut z, &model.layers()[0].b);
+    if n_layers == 1 {
+        apply_output(model, &mut z);
+    } else {
+        model.spec().activation.apply(&mut z);
+    }
+    activations.push(z);
+
+    // Remaining layers: the standard dense path.
+    for l in 1..n_layers {
+        let layer = &model.layers()[l];
+        let input = activations.last().expect("layer output present");
+        let mut z = Matrix::zeros(input.rows(), layer.w.rows());
+        if parallel {
+            hetero_tensor::gemm::par_gemm_nt(1.0, input, &layer.w, 0.0, &mut z);
+        } else {
+            hetero_tensor::gemm::gemm_nt(1.0, input, &layer.w, 0.0, &mut z);
+        }
+        ops::add_row_broadcast(&mut z, &layer.b);
+        if l + 1 == n_layers {
+            apply_output(model, &mut z);
+        } else {
+            model.spec().activation.apply(&mut z);
+        }
+        activations.push(z);
+    }
+    ForwardPass { activations }
+}
+
+fn apply_output(model: &Model, z: &mut Matrix) {
+    match model.spec().loss {
+        LossKind::SoftmaxCrossEntropy => ops::softmax_rows(z),
+        LossKind::MultiLabelBce => ops::sigmoid_inplace(z),
+    }
+}
+
+/// Loss + exact gradient for a sparse batch.
+///
+/// Produces the same gradient as densifying `x` and calling
+/// [`crate::loss_and_gradient`], at `O(nnz)` cost in the input layer.
+pub fn loss_and_gradient_sparse(
+    model: &Model,
+    x: &CsrMatrix,
+    targets: Targets<'_>,
+    parallel: bool,
+) -> (f32, Gradient) {
+    let pass = forward_sparse(model, x, parallel);
+    let batch_loss = loss(pass.probs(), targets, model.spec().loss);
+
+    let n_layers = model.layers().len();
+    let mut grad = Model::zeros_like(model.spec());
+
+    // Output delta, identical to the dense path.
+    let mut delta = pass.probs().clone();
+    let batch = x.rows();
+    let inv_b = if batch > 0 { 1.0 / batch as f32 } else { 0.0 };
+    match targets {
+        Targets::Classes(labels) => {
+            assert_eq!(labels.len(), batch, "label count");
+            for (i, &y) in labels.iter().enumerate() {
+                let v = delta.get(i, y as usize) - 1.0;
+                delta.set(i, y as usize, v);
+            }
+        }
+        Targets::MultiHot(y) => ops::sub_assign(&mut delta, y),
+    }
+    ops::scale(inv_b, delta.as_mut_slice());
+
+    for l in (0..n_layers).rev() {
+        if l == 0 {
+            // Sparse weight gradient: ∇W₁ = δᵀ·X.
+            grad.layers_mut()[0].w = x.spmm_tn(&delta);
+            grad.layers_mut()[0].b = ops::col_sum(&delta);
+        } else {
+            let input = &pass.activations[l - 1];
+            {
+                let gw = &mut grad.layers_mut()[l].w;
+                if parallel {
+                    hetero_tensor::gemm::par_gemm_tn(1.0, &delta, input, 0.0, gw);
+                } else {
+                    hetero_tensor::gemm::gemm_tn(1.0, &delta, input, 0.0, gw);
+                }
+            }
+            grad.layers_mut()[l].b = ops::col_sum(&delta);
+            let w = &model.layers()[l].w;
+            let mut prev = Matrix::zeros(delta.rows(), w.cols());
+            if parallel {
+                hetero_tensor::gemm::par_gemm_nn(1.0, &delta, w, 0.0, &mut prev);
+            } else {
+                hetero_tensor::gemm::gemm_nn(1.0, &delta, w, 0.0, &mut prev);
+            }
+            model
+                .spec()
+                .activation
+                .mul_derivative(&pass.activations[l - 1], &mut prev);
+            delta = prev;
+        }
+    }
+    (batch_loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::loss_and_gradient;
+    use crate::init::InitScheme;
+    use crate::spec::MlpSpec;
+
+    fn sparse_batch(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state % 5 == 0 {
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn sparse_forward_matches_dense() {
+        let spec = MlpSpec::tiny(12, 3);
+        let model = Model::new(spec, InitScheme::Xavier, 8);
+        let dense = sparse_batch(7, 12, 3);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let a = crate::forward(&model, &dense, false);
+        let b = forward_sparse(&model, &csr, false);
+        assert!(a.probs().approx_eq(b.probs(), 1e-5));
+    }
+
+    #[test]
+    fn sparse_gradient_matches_dense() {
+        let spec = MlpSpec::tiny(10, 2);
+        let model = Model::new(spec, InitScheme::Xavier, 4);
+        let dense = sparse_batch(6, 10, 9);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let labels: Vec<u32> = (0..6).map(|i| (i % 2) as u32).collect();
+        let (l1, g1) = loss_and_gradient(&model, &dense, Targets::Classes(&labels), false);
+        let (l2, g2) = loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
+        assert!((l1 - l2).abs() < 1e-5, "{l1} vs {l2}");
+        for (a, b) in g1.flatten().iter().zip(g2.flatten().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_training_reduces_loss() {
+        let spec = MlpSpec::tiny(10, 2);
+        let mut model = Model::new(spec, InitScheme::Xavier, 1);
+        let dense = sparse_batch(40, 10, 17);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let labels: Vec<u32> = (0..40)
+            .map(|i| if dense.row(i)[0] > 0.0 { 1 } else { 0 })
+            .collect();
+        let (first, _) = loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
+        let mut last = first;
+        for _ in 0..60 {
+            let (l, g) =
+                loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
+            model.apply_gradient(&g, 0.8);
+            last = l;
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn single_layer_network_sparse() {
+        // No hidden layers: the sparse path must handle the output layer
+        // being the first layer.
+        let spec = MlpSpec {
+            input_dim: 8,
+            hidden: vec![],
+            classes: 3,
+            activation: crate::Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        };
+        let model = Model::new(spec, InitScheme::Xavier, 2);
+        let dense = sparse_batch(5, 8, 21);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let labels = vec![0u32, 1, 2, 0, 1];
+        let (l1, g1) = loss_and_gradient(&model, &dense, Targets::Classes(&labels), false);
+        let (l2, g2) = loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
+        assert!((l1 - l2).abs() < 1e-5);
+        for (a, b) in g1.flatten().iter().zip(g2.flatten().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input_dim")]
+    fn wrong_width_panics() {
+        let spec = MlpSpec::tiny(10, 2);
+        let model = Model::new(spec, InitScheme::Xavier, 1);
+        let csr = CsrMatrix::from_dense(&Matrix::zeros(2, 7), 0.0);
+        forward_sparse(&model, &csr, false);
+    }
+}

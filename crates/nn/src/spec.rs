@@ -1,0 +1,195 @@
+//! Network shape and loss configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// Output-layer / loss configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Softmax output + cross-entropy against a single class label
+    /// (covtype, w8a, real-sim in the paper).
+    SoftmaxCrossEntropy,
+    /// Sigmoid output + mean binary cross-entropy against a multi-hot label
+    /// vector (the 983-label `delicious` dataset).
+    MultiLabelBce,
+}
+
+/// Shape of a fully-connected MLP plus its training loss.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpSpec {
+    /// Dimensionality of the input feature vectors (`d_1` in the paper).
+    pub input_dim: usize,
+    /// Width of each hidden layer, in order. The paper uses a constant 512.
+    pub hidden: Vec<usize>,
+    /// Number of output classes/labels.
+    pub classes: usize,
+    /// Hidden activation (paper: sigmoid).
+    pub activation: Activation,
+    /// Output/loss configuration.
+    pub loss: LossKind,
+}
+
+impl MlpSpec {
+    /// Paper-style network: `depth` hidden layers of 512 sigmoid units.
+    pub fn paper(input_dim: usize, depth: usize, classes: usize, loss: LossKind) -> Self {
+        MlpSpec {
+            input_dim,
+            hidden: vec![512; depth],
+            classes,
+            activation: Activation::Sigmoid,
+            loss,
+        }
+    }
+
+    /// Small network for tests and examples.
+    pub fn tiny(input_dim: usize, classes: usize) -> Self {
+        MlpSpec {
+            input_dim,
+            hidden: vec![16, 16],
+            classes,
+            activation: Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        }
+    }
+
+    /// Layer input/output dimensions, including the output layer:
+    /// `[(input_dim, h1), (h1, h2), ..., (hk, classes)]`.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 1);
+        let mut prev = self.input_dim;
+        for &h in &self.hidden {
+            dims.push((prev, h));
+            prev = h;
+        }
+        dims.push((prev, self.classes));
+        dims
+    }
+
+    /// Total number of layers (hidden + output).
+    pub fn num_layers(&self) -> usize {
+        self.hidden.len() + 1
+    }
+
+    /// Total trainable parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.layer_dims()
+            .iter()
+            .map(|&(i, o)| i * o + o)
+            .sum()
+    }
+
+    /// FLOPs for one example's forward pass (2·in·out per layer, the
+    /// matrix-product cost that dominates; element-wise ops ignored).
+    pub fn forward_flops_per_example(&self) -> u64 {
+        self.layer_dims()
+            .iter()
+            .map(|&(i, o)| 2 * (i as u64) * (o as u64))
+            .sum()
+    }
+
+    /// FLOPs for one example's full SGD step: forward + backward.
+    ///
+    /// Backward costs ≈ 2× forward (gradient w.r.t. inputs and weights each
+    /// cost one GEMM of the forward shape), the standard 3× total rule.
+    pub fn train_flops_per_example(&self) -> u64 {
+        3 * self.forward_flops_per_example()
+    }
+
+    /// Bytes of one f32 parameter set (model or gradient).
+    pub fn param_bytes(&self) -> u64 {
+        4 * self.num_params() as u64
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_dim == 0 {
+            return Err("input_dim must be positive".into());
+        }
+        if self.classes == 0 {
+            return Err("classes must be positive".into());
+        }
+        if self.hidden.iter().any(|&h| h == 0) {
+            return Err("hidden layer widths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_shapes() {
+        let s = MlpSpec::paper(54, 6, 2, LossKind::SoftmaxCrossEntropy);
+        assert_eq!(s.hidden, vec![512; 6]);
+        assert_eq!(s.num_layers(), 7);
+        let dims = s.layer_dims();
+        assert_eq!(dims[0], (54, 512));
+        assert_eq!(dims[6], (512, 2));
+    }
+
+    #[test]
+    fn param_count() {
+        // 2 -> 3 -> 2: (2*3+3) + (3*2+2) = 9 + 8 = 17
+        let s = MlpSpec {
+            input_dim: 2,
+            hidden: vec![3],
+            classes: 2,
+            activation: Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        };
+        assert_eq!(s.num_params(), 17);
+        assert_eq!(s.param_bytes(), 68);
+    }
+
+    #[test]
+    fn flops_counts() {
+        let s = MlpSpec {
+            input_dim: 4,
+            hidden: vec![8],
+            classes: 2,
+            activation: Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        };
+        // 2*4*8 + 2*8*2 = 64 + 32 = 96
+        assert_eq!(s.forward_flops_per_example(), 96);
+        assert_eq!(s.train_flops_per_example(), 288);
+    }
+
+    #[test]
+    fn no_hidden_layers_is_logistic_regression() {
+        let s = MlpSpec {
+            input_dim: 10,
+            hidden: vec![],
+            classes: 3,
+            activation: Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        };
+        assert_eq!(s.num_layers(), 1);
+        assert_eq!(s.layer_dims(), vec![(10, 3)]);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zeros() {
+        let mut s = MlpSpec::tiny(4, 2);
+        s.input_dim = 0;
+        assert!(s.validate().is_err());
+        let mut s = MlpSpec::tiny(4, 2);
+        s.classes = 0;
+        assert!(s.validate().is_err());
+        let mut s = MlpSpec::tiny(4, 2);
+        s.hidden = vec![8, 0];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = MlpSpec::paper(300, 8, 2, LossKind::SoftmaxCrossEntropy);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MlpSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

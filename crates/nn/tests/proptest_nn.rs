@@ -1,0 +1,130 @@
+//! Property-based tests on the network's mathematical invariants.
+
+use hetero_nn::{
+    backward, forward, loss, loss_and_gradient, Activation, InitScheme, LossKind, MlpSpec,
+    Model, SharedModel, Targets,
+};
+use hetero_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = MlpSpec> {
+    (1usize..6, prop::collection::vec(1usize..10, 0..3), 2usize..5).prop_map(
+        |(input, hidden, classes)| MlpSpec {
+            input_dim: input,
+            hidden,
+            classes,
+            activation: Activation::Sigmoid,
+            loss: LossKind::SoftmaxCrossEntropy,
+        },
+    )
+}
+
+fn arb_batch(spec: &MlpSpec, rows: usize, seed: u64) -> (Matrix, Vec<u32>) {
+    let d = spec.input_dim;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    let x = Matrix::from_fn(rows, d, |_, _| next());
+    let y = (0..rows).map(|i| (i % spec.classes) as u32).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Softmax forward output is a probability distribution per row for
+    /// any architecture and any input.
+    #[test]
+    fn forward_outputs_distributions(spec in arb_spec(), seed in any::<u64>()) {
+        let model = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let (x, _) = arb_batch(&spec, 7, seed);
+        let pass = forward(&model, &x, false);
+        let probs = pass.probs();
+        for i in 0..probs.rows() {
+            let s: f32 = probs.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {i} sums {s}");
+            prop_assert!(probs.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and finite everywhere.
+    #[test]
+    fn loss_nonnegative_finite(spec in arb_spec(), seed in any::<u64>()) {
+        let model = Model::new(spec.clone(), InitScheme::PaperNormal, seed);
+        let (x, y) = arb_batch(&spec, 5, seed);
+        let pass = forward(&model, &x, false);
+        let l = loss(pass.probs(), Targets::Classes(&y), spec.loss);
+        prop_assert!(l >= 0.0 && l.is_finite(), "loss {l}");
+    }
+
+    /// Gradient of a doubled batch equals the gradient of the batch
+    /// (mean-loss normalization): duplicating every example is a no-op.
+    #[test]
+    fn gradient_invariant_to_duplication(spec in arb_spec(), seed in any::<u64>()) {
+        let model = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let (x, y) = arb_batch(&spec, 4, seed);
+        let mut x2 = Matrix::zeros(8, spec.input_dim);
+        let mut y2 = Vec::with_capacity(8);
+        for i in 0..8 {
+            x2.row_mut(i).copy_from_slice(x.row(i % 4));
+            y2.push(y[i % 4]);
+        }
+        let (l1, g1) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+        let (l2, g2) = loss_and_gradient(&model, &x2, Targets::Classes(&y2), false);
+        prop_assert!((l1 - l2).abs() < 1e-5);
+        for (a, b) in g1.flatten().iter().zip(g2.flatten().iter()) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// A gradient step with small enough η decreases the batch loss
+    /// (descent direction property).
+    #[test]
+    fn gradient_is_descent_direction(spec in arb_spec(), seed in any::<u64>()) {
+        let mut model = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let (x, y) = arb_batch(&spec, 6, seed);
+        let (l0, g) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+        // Skip degenerate zero gradients (perfectly predicted random init
+        // is effectively impossible, but stay safe).
+        prop_assume!(g.param_norm() > 1e-9);
+        model.apply_gradient(&g, 1e-3 / (1.0 + g.param_norm()));
+        let pass = forward(&model, &x, false);
+        let l1 = loss(pass.probs(), Targets::Classes(&y), spec.loss);
+        prop_assert!(l1 <= l0 + 1e-6, "loss rose {l0} -> {l1}");
+    }
+
+    /// backward() on a recomputed pass equals loss_and_gradient's output.
+    #[test]
+    fn backward_consistent_with_combined_call(spec in arb_spec(), seed in any::<u64>()) {
+        let model = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let (x, y) = arb_batch(&spec, 3, seed);
+        let pass = forward(&model, &x, false);
+        let g1 = backward(&model, &x, &pass, Targets::Classes(&y), false);
+        let (_, g2) = loss_and_gradient(&model, &x, Targets::Classes(&y), false);
+        prop_assert_eq!(g1.flatten(), g2.flatten());
+    }
+
+    /// SharedModel snapshot/store round-trips arbitrary models.
+    #[test]
+    fn shared_model_roundtrip(spec in arb_spec(), seed in any::<u64>()) {
+        let m1 = Model::new(spec.clone(), InitScheme::Xavier, seed);
+        let m2 = Model::new(spec, InitScheme::PaperNormal, seed ^ 1);
+        let shared = SharedModel::new(&m1);
+        prop_assert_eq!(shared.snapshot(), m1);
+        shared.store(&m2);
+        prop_assert_eq!(shared.snapshot(), m2);
+    }
+
+    /// Flatten/unflatten is a bijection for random parameter vectors.
+    #[test]
+    fn flatten_bijection(spec in arb_spec()) {
+        let n = spec.num_params();
+        let params: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let model = Model::unflatten(&spec, &params);
+        prop_assert_eq!(model.flatten(), params);
+    }
+}

@@ -1,0 +1,166 @@
+//! Busy-interval accounting and utilization timelines (Figure 7 substrate).
+//!
+//! Each device worker records `[start, end) × level` busy segments; the
+//! timeline can then be sampled on a fixed grid to produce the utilization
+//! curves the paper plots over three epochs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::SimTime;
+
+/// One busy interval at a given utilization level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Interval start (virtual seconds).
+    pub start: SimTime,
+    /// Interval end (virtual seconds).
+    pub end: SimTime,
+    /// Device utilization during the interval, in `[0, 1]`.
+    pub level: f64,
+}
+
+/// Append-only record of a device's busy intervals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UtilizationTimeline {
+    segments: Vec<Segment>,
+}
+
+impl UtilizationTimeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a busy interval.
+    ///
+    /// # Panics
+    /// Panics on inverted intervals, levels outside `[0, 1]`, or intervals
+    /// that start before the previous one ends (a device is sequential).
+    pub fn record(&mut self, start: SimTime, end: SimTime, level: f64) {
+        assert!(end >= start, "inverted interval");
+        assert!((0.0..=1.0).contains(&level), "level {level} outside [0,1]");
+        if let Some(last) = self.segments.last() {
+            assert!(
+                start >= last.end - 1e-12,
+                "overlapping busy intervals ({start} < {})",
+                last.end
+            );
+        }
+        if end > start {
+            self.segments.push(Segment { start, end, level });
+        }
+    }
+
+    /// All recorded segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Time-weighted mean utilization over `[from, to)` (idle counts as 0).
+    pub fn average(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "empty window");
+        let mut busy = 0.0;
+        for s in &self.segments {
+            let lo = s.start.max(from);
+            let hi = s.end.min(to);
+            if hi > lo {
+                busy += (hi - lo) * s.level;
+            }
+        }
+        busy / (to - from)
+    }
+
+    /// Sample mean utilization over consecutive windows of `dt` covering
+    /// `[0, horizon)` — the Figure 7 plotting series.
+    pub fn sample(&self, horizon: SimTime, dt: SimTime) -> Vec<(SimTime, f64)> {
+        assert!(dt > 0.0, "non-positive sample step");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < horizon {
+            let hi = (t + dt).min(horizon);
+            out.push((t, self.average(t, hi)));
+            t = hi;
+        }
+        out
+    }
+
+    /// Total busy time (level-weighted) across the whole record.
+    pub fn busy_time(&self) -> SimTime {
+        self.segments
+            .iter()
+            .map(|s| (s.end - s.start) * s.level)
+            .sum()
+    }
+
+    /// End time of the last segment (0 when empty).
+    pub fn horizon(&self) -> SimTime {
+        self.segments.last().map_or(0.0, |s| s.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_average() {
+        let mut t = UtilizationTimeline::new();
+        t.record(0.0, 1.0, 1.0);
+        t.record(1.0, 2.0, 0.5);
+        // [0,2): (1*1 + 1*0.5)/2 = 0.75
+        assert!((t.average(0.0, 2.0) - 0.75).abs() < 1e-12);
+        // Window with idle tail [0,4): 1.5/4
+        assert!((t.average(0.0, 4.0) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_windows() {
+        let mut t = UtilizationTimeline::new();
+        t.record(1.0, 3.0, 1.0);
+        assert!((t.average(0.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!((t.average(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(t.average(4.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn sample_grid() {
+        let mut t = UtilizationTimeline::new();
+        t.record(0.0, 1.0, 0.8);
+        let s = t.sample(2.0, 0.5);
+        assert_eq!(s.len(), 4);
+        assert!((s[0].1 - 0.8).abs() < 1e-12);
+        assert!((s[1].1 - 0.8).abs() < 1e-12);
+        assert_eq!(s[2].1, 0.0);
+    }
+
+    #[test]
+    fn zero_length_segments_ignored() {
+        let mut t = UtilizationTimeline::new();
+        t.record(1.0, 1.0, 1.0);
+        assert!(t.segments().is_empty());
+        assert_eq!(t.horizon(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_panics() {
+        let mut t = UtilizationTimeline::new();
+        t.record(0.0, 2.0, 1.0);
+        t.record(1.0, 3.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_level_panics() {
+        UtilizationTimeline::new().record(0.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut t = UtilizationTimeline::new();
+        t.record(0.0, 2.0, 0.5);
+        t.record(2.0, 3.0, 1.0);
+        assert!((t.busy_time() - 2.0).abs() < 1e-12);
+        assert_eq!(t.horizon(), 3.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the simulation substrate.
+
+use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Events always pop in non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut popped = 0;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_t, "time went backwards");
+            if t > last_t {
+                seen_at_time.clear();
+            }
+            // FIFO among equal times: indices at the same instant ascend.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(idx > prev, "tie broken out of order");
+            }
+            seen_at_time.push(idx);
+            last_t = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// GPU batch time is monotone increasing in batch size while
+    /// throughput (examples/s) is also monotone increasing — the curve
+    /// that motivates large GPU batches.
+    #[test]
+    fn gpu_time_and_throughput_monotone(b1 in 1usize..10_000, b2 in 1usize..10_000) {
+        prop_assume!(b1 < b2);
+        let gpu = GpuModel::v100();
+        let fpe = 1_000_000;
+        let t1 = gpu.batch_time(fpe, b1);
+        let t2 = gpu.batch_time(fpe, b2);
+        prop_assert!(t2 > t1);
+        prop_assert!(b2 as f64 / t2 > b1 as f64 / t1);
+    }
+
+    /// CPU batch time is non-decreasing in batch size.
+    #[test]
+    fn cpu_time_monotone(b1 in 1usize..100_000, b2 in 1usize..100_000) {
+        prop_assume!(b1 < b2);
+        let cpu = CpuModel::xeon_pair();
+        prop_assert!(cpu.batch_time(1_000_000, b2) >= cpu.batch_time(1_000_000, b1) - 1e-12);
+    }
+
+    /// Occupancy and utilization stay inside [0, 1] for any batch.
+    #[test]
+    fn utilizations_bounded(b in 0usize..1_000_000) {
+        let gpu = GpuModel::v100();
+        let cpu = CpuModel::xeon_pair();
+        prop_assert!((0.0..=1.0).contains(&gpu.busy_utilization(b)));
+        prop_assert!((0.0..=1.0).contains(&cpu.busy_utilization(b)));
+    }
+
+    /// Timeline average over any window is bounded by the max level.
+    #[test]
+    fn timeline_average_bounded(
+        segs in prop::collection::vec((0.0f64..10.0, 0.0f64..5.0, 0.0f64..1.0), 1..30),
+    ) {
+        let mut tl = UtilizationTimeline::new();
+        let mut t = 0.0;
+        let mut max_level: f64 = 0.0;
+        for (gap, dur, level) in segs {
+            t += gap;
+            tl.record(t, t + dur, level);
+            t += dur;
+            max_level = max_level.max(level);
+        }
+        let horizon = tl.horizon().max(1.0);
+        let avg = tl.average(0.0, horizon);
+        prop_assert!(avg <= max_level + 1e-9, "avg {avg} > max level {max_level}");
+        prop_assert!(avg >= 0.0);
+        // Sampling then taking the *time-weighted* mean equals the direct
+        // average (floating-point accumulation can make the final window a
+        // sliver, so the windows must be weighted by their actual width).
+        let samples = tl.sample(horizon, horizon / 16.0);
+        let mut weighted = 0.0;
+        for (i, &(t, u)) in samples.iter().enumerate() {
+            let end = samples.get(i + 1).map(|&(t2, _)| t2).unwrap_or(horizon);
+            weighted += u * (end - t);
+        }
+        let mean = weighted / horizon;
+        prop_assert!((mean - avg).abs() < 1e-6, "weighted sample mean {mean} vs avg {avg}");
+    }
+
+    /// Transfer time is additive-ish: t(a) + t(b) >= t(a+b) >= max(t(a), t(b))
+    /// (latency is paid once for the combined transfer).
+    #[test]
+    fn transfer_time_subadditive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let gpu = GpuModel::v100();
+        let ta = gpu.transfer_time(a);
+        let tb = gpu.transfer_time(b);
+        let tab = gpu.transfer_time(a + b);
+        prop_assert!(tab <= ta + tb + 1e-12);
+        prop_assert!(tab >= ta.max(tb) - 1e-12);
+    }
+}

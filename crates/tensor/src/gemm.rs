@@ -1,0 +1,422 @@
+//! Single-precision general matrix multiply (SGEMM) kernels.
+//!
+//! The MLP passes need three transpose combinations:
+//!
+//! | call | computes | used for |
+//! |---|---|---|
+//! | [`gemm_nn`] | `C ← α·A·B + β·C` | forward: `Z = X·Wᵀ` is expressed as NT; hidden chains |
+//! | [`gemm_tn`] | `C ← α·Aᵀ·B + β·C` | weight gradient: `∇W = δᵀ·X` |
+//! | [`gemm_nt`] | `C ← α·A·Bᵀ + β·C` | forward with row-major weights; backprop `δ·W` |
+//!
+//! Each has a cache-blocked serial implementation and a rayon-parallel
+//! wrapper ([`par_gemm_nn`], …) that splits the output rows across tasks:
+//! tasks write disjoint row slices, so the parallelism is race-free by
+//! construction (the rayon idiom from the workspace guides).
+//!
+//! The inner kernel iterates `i, k, j` so the innermost loop walks both `B`
+//! and `C` contiguously — this auto-vectorizes well and is the standard
+//! row-major micro-kernel shape.
+
+use rayon::prelude::*;
+
+use crate::Matrix;
+
+/// Row-block size for parallel partitioning.
+const PAR_ROW_BLOCK: usize = 32;
+/// K-panel blocking to keep the streamed panel of `B` in L2.
+const KB: usize = 256;
+/// J-panel blocking (columns of C/B) to keep the C row segment in L1.
+const JB: usize = 512;
+
+#[inline]
+fn check(op: &'static str, m: usize, n: usize, k: usize, kb: usize, c: &Matrix) {
+    assert_eq!(k, kb, "{op}: inner dimensions differ ({k} vs {kb})");
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "{op}: output shape {:?} != ({m}, {n})",
+        c.shape()
+    );
+}
+
+#[inline]
+fn scale_c(beta: f32, c: &mut [f32]) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+}
+
+/// Serial blocked kernel for `C[i,:] += alpha * sum_k A[i,k] B[k,:]` over a
+/// row range of C. `a_rows` is the slice of A covering the same row range.
+fn kernel_nn(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+    if n == 0 || k == 0 || c_rows.is_empty() {
+        return;
+    }
+    let rows = c_rows.len() / n;
+    for kb in (0..k).step_by(KB) {
+        let kend = (kb + KB).min(k);
+        for jb in (0..n).step_by(JB) {
+            let jend = (jb + JB).min(n);
+            for i in 0..rows {
+                let a_row = &a_rows[i * k..(i + 1) * k];
+                let c_row = &mut c_rows[i * n + jb..i * n + jend];
+                for kk in kb..kend {
+                    let aik = alpha * a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n + jb..kk * n + jend];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C ← α·A·B + β·C` (serial, cache-blocked).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c.shape() != (a.rows(), b.cols())`.
+pub fn gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    check("gemm_nn", m, n, k, kb, c);
+    scale_c(beta, c.as_mut_slice());
+    kernel_nn(alpha, a.as_slice(), b.as_slice(), n, k, c.as_mut_slice());
+}
+
+/// `C ← α·A·B + β·C`, output rows split across rayon tasks.
+pub fn par_gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    check("par_gemm_nn", m, n, k, kb, c);
+    if m * n * k < 64 * 64 * 64 {
+        // Parallel dispatch costs more than it saves on tiny problems.
+        gemm_nn(alpha, a, b, beta, c);
+        return;
+    }
+    let bs = b.as_slice();
+    let a_all = a.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(PAR_ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            scale_c(beta, c_rows);
+            let row0 = blk * PAR_ROW_BLOCK;
+            let rows = c_rows.len() / n;
+            let a_rows = &a_all[row0 * k..(row0 + rows) * k];
+            kernel_nn(alpha, a_rows, bs, n, k, c_rows);
+        });
+}
+
+/// `C ← α·Aᵀ·B + β·C` (serial).
+///
+/// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`. Implemented by iterating k in
+/// the outer loop (each k contributes a rank-1 update), blocked over k.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    check("gemm_tn", m, n, ka, kb, c);
+    scale_c(beta, c.as_mut_slice());
+    kernel_tn(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        n,
+        ka,
+        0,
+        m,
+        c.as_mut_slice(),
+    );
+}
+
+/// Rank-1-accumulation kernel for TN over an output row range `[i0, i1)`.
+/// `c_rows` covers exactly those rows.
+#[allow(clippy::too_many_arguments)]
+fn kernel_tn(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    i1: usize,
+    c_rows: &mut [f32],
+) {
+    for kb_ in (0..k).step_by(KB) {
+        let kend = (kb_ + KB).min(k);
+        for kk in kb_..kend {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for i in i0..i1 {
+                let aik = alpha * a_row[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c_rows[(i - i0) * n..(i - i0 + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C ← α·Aᵀ·B + β·C`, output rows split across rayon tasks.
+pub fn par_gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    check("par_gemm_tn", m, n, ka, kb, c);
+    if m * n * ka < 64 * 64 * 64 {
+        gemm_tn(alpha, a, b, beta, c);
+        return;
+    }
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    c.as_mut_slice()
+        .par_chunks_mut(PAR_ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            scale_c(beta, c_rows);
+            let i0 = blk * PAR_ROW_BLOCK;
+            let i1 = i0 + c_rows.len() / n;
+            kernel_tn(alpha, a_s, b_s, m, n, ka, i0, i1, c_rows);
+        });
+}
+
+/// `C ← α·A·Bᵀ + β·C` (serial).
+///
+/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Both operands are walked along
+/// contiguous rows, so this is a dot-product kernel — the natural layout for
+/// `X·Wᵀ` with row-major weight matrices `W[out][in]`.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check("gemm_nt", m, n, ka, kb, c);
+    scale_c(beta, c.as_mut_slice());
+    kernel_nt(alpha, a.as_slice(), b.as_slice(), n, ka, c.as_mut_slice());
+}
+
+fn kernel_nt(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+    if n == 0 || k == 0 || c_rows.is_empty() {
+        return;
+    }
+    let rows = c_rows.len() / n;
+    for i in 0..rows {
+        let a_row = &a_rows[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            // Four-way unrolled dot product; the tail is handled below.
+            let chunks = k / 4;
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for c4 in 0..chunks {
+                let p = c4 * 4;
+                s0 += a_row[p] * b_row[p];
+                s1 += a_row[p + 1] * b_row[p + 1];
+                s2 += a_row[p + 2] * b_row[p + 2];
+                s3 += a_row[p + 3] * b_row[p + 3];
+            }
+            for p in chunks * 4..k {
+                acc += a_row[p] * b_row[p];
+            }
+            acc += (s0 + s1) + (s2 + s3);
+            c_rows[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// `C ← α·A·Bᵀ + β·C`, output rows split across rayon tasks.
+pub fn par_gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check("par_gemm_nt", m, n, ka, kb, c);
+    if m * n * ka < 64 * 64 * 64 {
+        gemm_nt(alpha, a, b, beta, c);
+        return;
+    }
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    c.as_mut_slice()
+        .par_chunks_mut(PAR_ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            scale_c(beta, c_rows);
+            let row0 = blk * PAR_ROW_BLOCK;
+            let rows = c_rows.len() / n;
+            kernel_nt(
+                alpha,
+                &a_s[row0 * ka..(row0 + rows) * ka],
+                b_s,
+                n,
+                ka,
+                c_rows,
+            );
+        });
+}
+
+/// Reference implementation used by tests: naive triple loop, `C = α·op(A)·op(B) + β·C`.
+pub fn gemm_reference(
+    alpha: f32,
+    a: &Matrix,
+    ta: bool,
+    b: &Matrix,
+    tb: bool,
+    beta: f32,
+    c: &mut Matrix,
+) {
+    let a = if ta { a.transpose() } else { a.clone() };
+    let b = if tb { b.transpose() } else { b.clone() };
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    assert_eq!(c.shape(), (m, n));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+            }
+            let v = beta as f64 * c.get(i, j) as f64 + alpha as f64 * acc;
+            c.set(i, j, v as f32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so the tensor crate needs no rand dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 48, 80)] {
+            let a = rand_mat(m, k, 1);
+            let b = rand_mat(k, n, 2);
+            let mut c = rand_mat(m, n, 3);
+            let mut c_ref = c.clone();
+            gemm_nn(0.7, &a, &b, 0.3, &mut c);
+            gemm_reference(0.7, &a, false, &b, false, 0.3, &mut c_ref);
+            assert_close(&c, &c_ref, 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_reference() {
+        for &(m, k, n) in &[(4, 6, 5), (31, 17, 13), (70, 65, 64)] {
+            let a = rand_mat(k, m, 4); // A is k×m, used transposed
+            let b = rand_mat(k, n, 5);
+            let mut c = rand_mat(m, n, 6);
+            let mut c_ref = c.clone();
+            gemm_tn(1.3, &a, &b, -0.5, &mut c);
+            gemm_reference(1.3, &a, true, &b, false, -0.5, &mut c_ref);
+            assert_close(&c, &c_ref, 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_matches_reference() {
+        for &(m, k, n) in &[(4, 6, 5), (29, 15, 31), (64, 100, 64)] {
+            let a = rand_mat(m, k, 7);
+            let b = rand_mat(n, k, 8); // B is n×k, used transposed
+            let mut c = rand_mat(m, n, 9);
+            let mut c_ref = c.clone();
+            gemm_nt(0.9, &a, &b, 1.0, &mut c);
+            gemm_reference(0.9, &a, false, &b, true, 1.0, &mut c_ref);
+            assert_close(&c, &c_ref, 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (m, k, n) = (130, 70, 90);
+        let a = rand_mat(m, k, 10);
+        let b = rand_mat(k, n, 11);
+        let bt = b.transpose();
+        let at = a.transpose();
+
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c1);
+        par_gemm_nn(1.0, &a, &b, 0.0, &mut c2);
+        assert_close(&c1, &c2, 1e-5);
+
+        let mut c3 = Matrix::zeros(m, n);
+        par_gemm_nt(1.0, &a, &bt, 0.0, &mut c3);
+        assert_close(&c1, &c3, 1e-4);
+
+        let mut c4 = Matrix::zeros(m, n);
+        par_gemm_tn(1.0, &at, &b, 0.0, &mut c4);
+        assert_close(&c1, &c4, 1e-4);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        // beta = 0 must ignore pre-existing garbage (including NaN), like BLAS.
+        let a = Matrix::eye(2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut c = Matrix::full(2, 2, f32::NAN);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = rand_mat(9, 9, 20);
+        let mut c = Matrix::zeros(9, 9);
+        gemm_nn(1.0, &a, &Matrix::eye(9), 0.0, &mut c);
+        assert_close(&c, &a, 1e-6);
+        let mut c2 = Matrix::zeros(9, 9);
+        gemm_nn(1.0, &Matrix::eye(9), &a, 0.0, &mut c2);
+        assert_close(&c2, &a, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape")]
+    fn mismatched_output_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(3, 3);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn empty_matrices_ok() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 0);
+        let mut c = Matrix::zeros(0, 0);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! # hetero-tensor
+//!
+//! Dense linear-algebra kernels for the hetero-sgd workspace.
+//!
+//! The paper's framework relies on Intel MKL (CPU side) and cuBLAS (GPU
+//! side) for the matrix products that dominate fully-connected DNN training.
+//! This crate is the self-contained replacement: a row-major [`Matrix`] type
+//! plus cache-blocked, optionally rayon-parallel single-precision GEMM in all
+//! the transpose combinations the MLP forward/backward passes need
+//! (`A·B`, `Aᵀ·B`, `A·Bᵀ`), together with the element-wise and reduction
+//! kernels (axpy, scale, hadamard, row-softmax, …).
+//!
+//! Design notes:
+//! - Everything is `f32`: that is what both the paper and GPU training use.
+//! - Blocking parameters are chosen for typical L1/L2 sizes (Table I of the
+//!   paper); they are compile-time constants in [`gemm`].
+//! - Parallel variants split the *output* row range across rayon tasks, so
+//!   each task writes a disjoint slice — no synchronization needed.
+//!
+//! ```
+//! use hetero_tensor::{Matrix, gemm};
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let mut c = Matrix::zeros(2, 2);
+//! gemm::gemm_nn(1.0, &a, &b, 0.0, &mut c);
+//! assert_eq!(c, a);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod sparse;
+
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+
+/// Error type for shape mismatches and invalid tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right/second operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Which axis the index addressed.
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::OutOfBounds { axis, index, len } => {
+                write!(f, "{axis} index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = TensorError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("gemm"));
+        let e = TensorError::OutOfBounds {
+            axis: "row",
+            index: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains("7"));
+    }
+}

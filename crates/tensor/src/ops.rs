@@ -1,0 +1,288 @@
+//! Element-wise and reduction kernels.
+//!
+//! These cover everything an MLP training step needs besides GEMM: scaled
+//! vector updates (the SGD update itself is an axpy), activations applied
+//! in-place, per-row softmax, and the reductions used by loss evaluation.
+
+use crate::Matrix;
+
+/// `y ← y + alpha * x` over raw slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha * x + beta * y` over raw slices (generalized axpby).
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Scale a slice in place.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    x.iter_mut().for_each(|v| *v *= alpha);
+}
+
+/// Dot product of two slices.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Element-wise product `out ← a ⊙ b`.
+pub fn hadamard(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    assert_eq!(a.shape(), out.shape(), "hadamard output shape mismatch");
+    for ((o, x), y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x * y;
+    }
+}
+
+/// In-place element-wise product `a ← a ⊙ b`.
+pub fn hadamard_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// `a ← a + b`.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    axpy(1.0, b.as_slice(), a.as_mut_slice());
+}
+
+/// `a ← a - b`.
+pub fn sub_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    axpy(-1.0, b.as_slice(), a.as_mut_slice());
+}
+
+/// Add a row vector (bias) to every row of `m`.
+pub fn add_row_broadcast(m: &mut Matrix, row: &[f32]) {
+    assert_eq!(m.cols(), row.len(), "broadcast width mismatch");
+    let cols = m.cols();
+    for r in m.as_mut_slice().chunks_exact_mut(cols) {
+        for (v, b) in r.iter_mut().zip(row) {
+            *v += b;
+        }
+    }
+}
+
+/// Column-wise sum of `m` (used for the bias gradient: sum of δ over the batch).
+pub fn col_sum(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.cols()];
+    for r in m.rows_iter() {
+        for (o, v) in out.iter_mut().zip(r) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Apply `f` to every element in place.
+pub fn map_inplace(m: &mut Matrix, f: impl Fn(f32) -> f32) {
+    m.as_mut_slice().iter_mut().for_each(|v| *v = f(*v));
+}
+
+/// Numerically-stable softmax applied to each row in place.
+///
+/// Subtracts the row max before exponentiating, then normalizes. Rows of an
+/// all-`-inf` or empty matrix are left untouched.
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            let inv = 1.0 / sum;
+            row.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+}
+
+/// Logistic sigmoid applied element-wise in place: `σ(x) = 1/(1+e^{-x})`.
+///
+/// Written in the branch-free stable form that never exponentiates a large
+/// positive argument.
+pub fn sigmoid_inplace(m: &mut Matrix) {
+    map_inplace(m, |x| {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    });
+}
+
+/// Index of the maximum element of a slice (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sum of all elements.
+pub fn sum(m: &Matrix) -> f32 {
+    m.as_slice().iter().sum()
+}
+
+/// Mean of all elements (0 for an empty matrix).
+pub fn mean(m: &Matrix) -> f32 {
+    if m.is_empty() {
+        0.0
+    } else {
+        sum(m) / m.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let x = [1.0, 1.0];
+        let mut y = [2.0, 4.0];
+        axpby(3.0, &x, 0.5, &mut y);
+        assert_eq!(y, [4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_len_mismatch_panics() {
+        axpy(1.0, &[1.0], &mut [1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_and_dot() {
+        let mut x = [1.0, 2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn hadamard_and_assign() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 2.0], &[0.5, 1.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        hadamard(&a, &b, &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[2.0, 4.0], &[1.5, 4.0]]));
+        let mut a2 = a.clone();
+        hadamard_assign(&mut a2, &b);
+        assert_eq!(a2, out);
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut a = Matrix::full(2, 2, 3.0);
+        let b = Matrix::full(2, 2, 1.0);
+        add_assign(&mut a, &b);
+        assert_eq!(a, Matrix::full(2, 2, 4.0));
+        sub_assign(&mut a, &b);
+        assert_eq!(a, Matrix::full(2, 2, 3.0));
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let mut m = Matrix::zeros(3, 2);
+        add_row_broadcast(&mut m, &[1.0, -1.0]);
+        for i in 0..3 {
+            assert_eq!(m.row(i), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn col_sum_is_bias_gradient() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(col_sum(&m), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalized() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        softmax_rows(&mut m);
+        for i in 0..2 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+        // Monotonicity within a row.
+        assert!(m.get(0, 2) > m.get(0, 1) && m.get(0, 1) > m.get(0, 0));
+        // Huge but equal logits must not produce NaN (stability check).
+        assert!((m.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        let mut m = Matrix::from_rows(&[&[-100.0, 0.0, 100.0]]);
+        sigmoid_inplace(&mut m);
+        assert!(m.get(0, 0) >= 0.0 && m.get(0, 0) < 1e-6);
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(m.get(0, 2) > 1.0 - 1e-6 && m.get(0, 2) <= 1.0);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(sum(&m), 10.0);
+        assert_eq!(mean(&m), 2.5);
+        assert_eq!(mean(&Matrix::zeros(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        map_inplace(&mut m, |x| x.abs());
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+}

@@ -1,0 +1,354 @@
+//! Compressed sparse row (CSR) matrices and the two products sparse MLP
+//! training needs.
+//!
+//! The paper processes every dataset "in dense format" (§VII-A) — even
+//! real-sim at ~0.25% density. This module provides the alternative so the
+//! trade-off is measurable: a CSR container plus
+//!
+//! - [`CsrMatrix::spmm`] — `Z = X·W` with sparse `X` (the first-layer
+//!   forward product, with `W` pre-transposed to `in×out`), and
+//! - [`CsrMatrix::spmm_tn`] — `∇W = δᵀ·X` with sparse `X` (the first-layer
+//!   weight gradient),
+//!
+//! which are exactly the two places sparsity pays off in a fully-connected
+//! network (every later layer is dense).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Matrix;
+
+/// Compressed sparse row matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `indices`/`values`; length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column index of each stored value (ascending within a row).
+    indices: Vec<u32>,
+    /// Stored values.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from a dense matrix, storing entries with `|v| > threshold`.
+    pub fn from_dense(dense: &Matrix, threshold: f32) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > threshold {
+                    indices.push(j as u32);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Build from (row, col, value) triplets (need not be sorted; duplicate
+    /// positions are summed).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds coordinates.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            per_row[r].push((c as u32, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < row.len() {
+                let (c, mut v) = row[k];
+                let mut k2 = k + 1;
+                while k2 < row.len() && row[k2].0 == c {
+                    v += row[k2].1;
+                    k2 += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                k = k2;
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored (non-zero) entry count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored entries.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Iterate over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        self.indices[s..e]
+            .iter()
+            .zip(&self.values[s..e])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Convert back to dense.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Extract rows `start..end` as a new CSR matrix (the batch primitive).
+    pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.rows, "row range");
+        let (s, e) = (self.indptr[start], self.indptr[end]);
+        let mut indptr: Vec<usize> = self.indptr[start..=end].to_vec();
+        let base = indptr[0];
+        indptr.iter_mut().for_each(|p| *p -= base);
+        CsrMatrix {
+            rows: end - start,
+            cols: self.cols,
+            indptr,
+            indices: self.indices[s..e].to_vec(),
+            values: self.values[s..e].to_vec(),
+        }
+    }
+
+    /// `Z ← X·W` where `X` is this sparse `rows×cols` matrix and `W` is a
+    /// **dense `cols×out`** matrix (a pre-transposed weight matrix).
+    ///
+    /// Complexity `O(nnz · out)` versus `O(rows · cols · out)` dense — the
+    /// win is exactly the sparsity factor.
+    pub fn spmm(&self, w: &Matrix) -> Matrix {
+        assert_eq!(w.rows(), self.cols, "spmm inner dimension");
+        let out = w.cols();
+        let mut z = Matrix::zeros(self.rows, out);
+        for i in 0..self.rows {
+            let zi = z.row_mut(i);
+            for (j, v) in row_pairs(&self.indptr, &self.indices, &self.values, i) {
+                let wj = w.row(j);
+                for (zo, wv) in zi.iter_mut().zip(wj) {
+                    *zo += v * wv;
+                }
+            }
+        }
+        z
+    }
+
+    /// Rayon-parallel [`CsrMatrix::spmm`]: output rows are split across
+    /// tasks (each task reads disjoint CSR rows and writes disjoint output
+    /// rows — race-free by construction).
+    pub fn par_spmm(&self, w: &Matrix) -> Matrix {
+        use rayon::prelude::*;
+        assert_eq!(w.rows(), self.cols, "spmm inner dimension");
+        let out = w.cols();
+        if self.rows * out < 1 << 14 {
+            return self.spmm(w);
+        }
+        let mut z = Matrix::zeros(self.rows, out);
+        let indptr = &self.indptr;
+        let indices = &self.indices;
+        let values = &self.values;
+        z.as_mut_slice()
+            .par_chunks_mut(out)
+            .enumerate()
+            .for_each(|(i, zi)| {
+                for (j, v) in row_pairs(indptr, indices, values, i) {
+                    let wj = w.row(j);
+                    for (zo, wv) in zi.iter_mut().zip(wj) {
+                        *zo += v * wv;
+                    }
+                }
+            });
+        z
+    }
+
+    /// `∇W ← δᵀ·X` where `δ` is dense `rows×out` and `X` is this sparse
+    /// matrix; the result is `out×cols` (row-major, matching layer weights).
+    pub fn spmm_tn(&self, delta: &Matrix) -> Matrix {
+        assert_eq!(delta.rows(), self.rows, "spmm_tn row count");
+        let out = delta.cols();
+        let mut grad = Matrix::zeros(out, self.cols);
+        for i in 0..self.rows {
+            let di = delta.row(i);
+            for (j, v) in row_pairs(&self.indptr, &self.indices, &self.values, i) {
+                // grad[:, j] += v * delta[i, :]  (strided column write)
+                for (o, &dv) in di.iter().enumerate() {
+                    let g = grad.get(o, j) + v * dv;
+                    grad.set(o, j, g);
+                }
+            }
+        }
+        grad
+    }
+}
+
+#[inline]
+fn row_pairs<'a>(
+    indptr: &'a [usize],
+    indices: &'a [u32],
+    values: &'a [f32],
+    i: usize,
+) -> impl Iterator<Item = (usize, f32)> + 'a {
+    let (s, e) = (indptr[i], indptr[i + 1]);
+    indices[s..e]
+        .iter()
+        .zip(&values[s..e])
+        .map(|(&c, &v)| (c as usize, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let s = CsrMatrix::from_triplets(2, 3, vec![(0, 1, 1.0), (0, 1, 2.0), (1, 2, 5.0)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense().get(0, 1), 3.0);
+        assert_eq!(s.to_dense().get(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_bounds_checked() {
+        CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn row_iter_yields_sorted_pairs() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        let row0: Vec<_> = s.row_iter(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(s.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    fn slice_rows_matches_dense_slice() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let sl = s.slice_rows(1, 3);
+        assert_eq!(sl.to_dense(), d.slice_rows(1, 3));
+        assert_eq!(sl.nnz(), 2);
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let x = sample_dense();
+        let sx = CsrMatrix::from_dense(&x, 0.0);
+        let w = Matrix::from_fn(4, 5, |i, j| ((i * 5 + j) as f32 * 0.3).sin());
+        let sparse_z = sx.spmm(&w);
+        let mut dense_z = Matrix::zeros(3, 5);
+        gemm::gemm_nn(1.0, &x, &w, 0.0, &mut dense_z);
+        assert!(sparse_z.approx_eq(&dense_z, 1e-5));
+    }
+
+    #[test]
+    fn spmm_tn_matches_dense_gemm() {
+        let x = sample_dense();
+        let sx = CsrMatrix::from_dense(&x, 0.0);
+        let delta = Matrix::from_fn(3, 6, |i, j| ((i + j) as f32 * 0.7).cos());
+        let sparse_g = sx.spmm_tn(&delta);
+        let mut dense_g = Matrix::zeros(6, 4);
+        gemm::gemm_tn(1.0, &delta, &x, 0.0, &mut dense_g);
+        assert!(sparse_g.approx_eq(&dense_g, 1e-5));
+    }
+
+    #[test]
+    fn par_spmm_matches_serial() {
+        // Large enough to take the parallel path.
+        let x = Matrix::from_fn(200, 120, |i, j| {
+            if (i * 7 + j * 13) % 9 == 0 {
+                ((i + j) as f32 * 0.1).sin()
+            } else {
+                0.0
+            }
+        });
+        let sx = CsrMatrix::from_dense(&x, 0.0);
+        let w = Matrix::from_fn(120, 100, |i, j| ((i * 3 + j) as f32 * 0.05).cos());
+        let serial = sx.spmm(&w);
+        let parallel = sx.par_spmm(&w);
+        assert!(serial.approx_eq(&parallel, 1e-5));
+    }
+
+    #[test]
+    fn threshold_filters_small_entries() {
+        let d = Matrix::from_rows(&[&[0.05, 1.0, -0.02]]);
+        let s = CsrMatrix::from_dense(&d, 0.1);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let s = CsrMatrix::from_dense(&Matrix::zeros(0, 0), 0.0);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.density(), 0.0);
+    }
+}

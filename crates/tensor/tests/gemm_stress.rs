@@ -1,0 +1,97 @@
+//! Stress and numerical-behaviour tests for the GEMM kernels beyond the
+//! unit-test shapes.
+
+use hetero_tensor::{gemm, ops, Matrix};
+
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+#[test]
+fn large_rectangular_shapes_match_reference() {
+    // Shapes deliberately straddling the blocking constants (KB=256, JB=512).
+    for &(m, k, n) in &[(3usize, 700usize, 1100usize), (257, 513, 31), (129, 255, 520)] {
+        let a = pseudo(m, k, 1);
+        let b = pseudo(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        let mut c_ref = Matrix::zeros(m, n);
+        gemm::par_gemm_nn(1.0, &a, &b, 0.0, &mut c);
+        gemm::gemm_reference(1.0, &a, false, &b, false, 0.0, &mut c_ref);
+        for (x, y) in c.as_slice().iter().zip(c_ref.as_slice()) {
+            assert!(
+                (x - y).abs() <= 2e-3 * (1.0 + x.abs().max(y.abs())),
+                "({m},{k},{n}): {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_accumulation_beta_one_is_additive() {
+    let (m, k, n) = (40, 30, 50);
+    let a = pseudo(m, k, 5);
+    let b = pseudo(k, n, 6);
+    let mut once = Matrix::zeros(m, n);
+    gemm::gemm_nn(1.0, &a, &b, 0.0, &mut once);
+    // Accumulate the same product 4 times with beta = 1.
+    let mut acc = Matrix::zeros(m, n);
+    for _ in 0..4 {
+        gemm::gemm_nn(1.0, &a, &b, 1.0, &mut acc);
+    }
+    let mut four = once.clone();
+    ops::scale(4.0, four.as_mut_slice());
+    assert!(acc.approx_eq(&four, 1e-3), "beta=1 accumulation drifted");
+}
+
+#[test]
+fn alpha_beta_combination_matches_manual() {
+    let (m, k, n) = (17, 23, 19);
+    let a = pseudo(m, k, 9);
+    let b = pseudo(k, n, 10);
+    let c0 = pseudo(m, n, 11);
+    let mut c = c0.clone();
+    gemm::gemm_nn(0.3, &a, &b, -0.7, &mut c);
+    // Manual: -0.7*c0 + 0.3*(a*b)
+    let mut ab = Matrix::zeros(m, n);
+    gemm::gemm_nn(1.0, &a, &b, 0.0, &mut ab);
+    for i in 0..m {
+        for j in 0..n {
+            let want = -0.7 * c0.get(i, j) + 0.3 * ab.get(i, j);
+            let got = c.get(i, j);
+            assert!((want - got).abs() < 1e-4, "{want} vs {got}");
+        }
+    }
+}
+
+#[test]
+fn kernels_preserve_finiteness_on_extreme_inputs() {
+    // Large but finite magnitudes must not overflow to inf in f32 for these
+    // modest inner dimensions.
+    let a = Matrix::full(8, 16, 1e15);
+    let b = Matrix::full(16, 8, 1e15);
+    let mut c = Matrix::zeros(8, 8);
+    gemm::gemm_nn(1e-20, &a, &b, 0.0, &mut c);
+    assert!(c.all_finite());
+    assert!((c.get(0, 0) - 16.0 * 1e10).abs() / (16.0 * 1e10) < 1e-3);
+}
+
+#[test]
+fn single_row_and_single_col_products() {
+    // Degenerate GEMV-like shapes hit the kernels' edge paths.
+    let a = pseudo(1, 300, 3);
+    let b = pseudo(300, 1, 4);
+    let mut c = Matrix::zeros(1, 1);
+    gemm::gemm_nn(1.0, &a, &b, 0.0, &mut c);
+    let manual: f32 = (0..300).map(|i| a.get(0, i) * b.get(i, 0)).sum();
+    assert!((c.get(0, 0) - manual).abs() < 1e-3);
+
+    let mut c_nt = Matrix::zeros(1, 1);
+    gemm::gemm_nt(1.0, &a, &b.transpose(), 0.0, &mut c_nt);
+    assert!((c_nt.get(0, 0) - manual).abs() < 1e-3);
+}

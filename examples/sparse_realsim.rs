@@ -1,0 +1,92 @@
+//! Sparse-input training on the real-sim stand-in — quantifying the
+//! paper's decision to "process all the datasets in dense format" (§VII-A).
+//!
+//! real-sim is 20,958-dimensional at ~0.25% density; the first MLP layer
+//! dominates its step cost and is exactly where CSR kernels help. This
+//! example trains the same network twice — dense and sparse input paths —
+//! verifies the losses agree step for step, and reports the wall-clock
+//! difference.
+//!
+//! ```text
+//! cargo run --release --example sparse_realsim
+//! ```
+
+use std::time::Instant;
+
+use hetero_sgd::nn::{loss_and_gradient, loss_and_gradient_sparse};
+use hetero_sgd::prelude::*;
+
+fn main() {
+    let dataset = PaperDataset::RealSim.generate(0.01, 7);
+    let csr = dataset.to_csr();
+    println!(
+        "real-sim stand-in: {} × {} at {:.2}% density ({} nnz)",
+        dataset.len(),
+        dataset.features(),
+        100.0 * csr.density(),
+        csr.nnz()
+    );
+
+    let spec = MlpSpec {
+        input_dim: dataset.features(),
+        hidden: vec![128, 128],
+        classes: 2,
+        activation: Activation::Sigmoid,
+        loss: LossKind::SoftmaxCrossEntropy,
+    };
+    let model0 = Model::new(spec, InitScheme::XavierSigmoid, 3);
+    let steps = 20;
+    let batch = 256.min(dataset.len());
+    let (x_dense, labels) = dataset.batch(0, batch);
+    let x_sparse = csr.slice_rows(0, batch);
+
+    // Dense path.
+    let mut dense_model = model0.clone();
+    let t0 = Instant::now();
+    let mut dense_losses = Vec::new();
+    for _ in 0..steps {
+        let (l, g) = loss_and_gradient(&dense_model, &x_dense, labels.as_targets(), true);
+        dense_model.apply_gradient(&g, 0.1);
+        dense_losses.push(l);
+    }
+    let dense_time = t0.elapsed();
+
+    // Sparse path.
+    let mut sparse_model = model0.clone();
+    let t0 = Instant::now();
+    let mut sparse_losses = Vec::new();
+    for _ in 0..steps {
+        let (l, g) =
+            loss_and_gradient_sparse(&sparse_model, &x_sparse, labels.as_targets(), true);
+        sparse_model.apply_gradient(&g, 0.1);
+        sparse_losses.push(l);
+    }
+    let sparse_time = t0.elapsed();
+
+    // The two paths compute the same math.
+    let max_diff = dense_losses
+        .iter()
+        .zip(&sparse_losses)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "loss {:.4} -> dense {:.4} / sparse {:.4} (max per-step diff {:.2e})",
+        dense_losses[0],
+        dense_losses[steps - 1],
+        sparse_losses[steps - 1],
+        max_diff
+    );
+    assert!(max_diff < 1e-3, "paths diverged");
+
+    println!(
+        "{steps} steps of batch {batch}: dense {:.1} ms/step, sparse {:.1} ms/step ({:.1}x)",
+        dense_time.as_secs_f64() * 1e3 / steps as f64,
+        sparse_time.as_secs_f64() * 1e3 / steps as f64,
+        dense_time.as_secs_f64() / sparse_time.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "(the win grows with 1/density — at the paper's full 20,958 features\n\
+         and 0.25% density the sparse path dominates; at covtype-like density\n\
+         the dense blocked GEMM wins, which is why the paper ran dense)"
+    );
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Summarize results/*.log into the markdown tables EXPERIMENTS.md embeds."""
+import re, sys, pathlib
+
+results = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+def fig5_table():
+    log = (results / "fig5_convergence.log").read_text()
+    rows, ds = [], None
+    for line in log.splitlines():
+        m = re.match(r"== (\S+) \(basis loss ([\d.]+)\) ==", line)
+        if m:
+            ds = m.group(1); rows.append(("basis", ds, m.group(2), ""))
+            continue
+        m = re.match(r"\s+(.+?)\s+final\s+([\d.]+)x basis \| reaches 1.5x basis at (\S+)", line)
+        if m and ds:
+            rows.append((m.group(1).strip(), ds, m.group(2), m.group(3)))
+    datasets = [r[1] for r in rows if r[0] == "basis"]
+    algos = []
+    for r in rows:
+        if r[0] != "basis" and r[0] not in algos:
+            algos.append(r[0])
+    print("| algorithm | " + " | ".join(f"{d} final / reach" for d in datasets) + " |")
+    print("|---|" + "---|" * len(datasets))
+    for a in algos:
+        cells = []
+        for d in datasets:
+            hit = [r for r in rows if r[0] == a and r[1] == d]
+            cells.append(f"{hit[0][2]}× / {hit[0][3]}" if hit else "—")
+        print(f"| {a} | " + " | ".join(cells) + " |")
+
+def fig6_table():
+    log = (results / "fig6_statistical_efficiency.log").read_text()
+    rows, ds = [], None
+    for line in log.splitlines():
+        m = re.match(r"== (\S+) ==", line)
+        if m:
+            ds = m.group(1); continue
+        m = re.match(r"\s+(.+?)\s+([\d.]+) epochs run \| loss after 1 epoch (.+)", line)
+        if m and ds:
+            rows.append((m.group(1).strip(), ds, m.group(2), m.group(3).strip()))
+    datasets, algos = [], []
+    for r in rows:
+        if r[1] not in datasets: datasets.append(r[1])
+        if r[0] not in algos: algos.append(r[0])
+    print("| algorithm | " + " | ".join(f"{d}: epochs run / loss@1ep" for d in datasets) + " |")
+    print("|---|" + "---|" * len(datasets))
+    for a in algos:
+        cells = []
+        for d in datasets:
+            hit = [r for r in rows if r[0] == a and r[1] == d]
+            cells.append(f"{hit[0][2]} / {hit[0][3]}" if hit else "—")
+        print(f"| {a} | " + " | ".join(cells) + " |")
+
+def passthrough(name):
+    print((results / name).read_text())
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if which in ("fig5", "all"):
+        print("### fig5\n"); fig5_table(); print()
+    if which in ("fig6", "all"):
+        print("### fig6\n"); fig6_table(); print()
+    if which in ("ablations", "all"):
+        print("### ablations\n"); passthrough("ablations.log")
+    if which in ("extensions", "all"):
+        print("### extensions\n"); passthrough("extensions.log")

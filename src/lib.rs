@@ -1,0 +1,67 @@
+//! # hetero-sgd
+//!
+//! A Rust reproduction of *"Adaptive Stochastic Gradient Descent for Deep
+//! Learning on Heterogeneous CPU+GPU Architectures"* (Ma, Rusu, Wu, Sim —
+//! 2021): a coordinator/worker training framework that runs asynchronous
+//! Hogwild-style SGD on the CPU **concurrently** with large-batch
+//! mini-batch SGD on the GPU, against one shared model, with batch sizes
+//! that adapt at runtime to balance the update distribution.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `hetero-tensor` | dense matrices, blocked/parallel GEMM |
+//! | [`mq`] | `hetero-mq` | lock-free MPSC queue, blocking channel |
+//! | [`nn`] | `hetero-nn` | MLP forward/backward, losses, shared Hogwild model |
+//! | [`data`] | `hetero-data` | LIBSVM parser, synthetic paper datasets, batch schedule |
+//! | [`sim`] | `hetero-sim` | virtual clock, V100/Xeon performance models |
+//! | [`gpu`] | `hetero-gpu` | software GPU: allocator, streams, kernels |
+//! | [`core`] | `hetero-core` | coordinator/workers, Hogbatch algorithms, engines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hetero_sgd::prelude::*;
+//!
+//! // A small two-class dataset with the paper's covtype-like shape.
+//! let dataset = PaperDataset::Covtype.generate(0.0002, 42);
+//! let spec = MlpSpec {
+//!     input_dim: dataset.features(),
+//!     hidden: vec![32, 32],
+//!     classes: 2,
+//!     activation: Activation::Sigmoid,
+//!     loss: LossKind::SoftmaxCrossEntropy,
+//! };
+//! let mut train = TrainConfig::default();
+//! train.algorithm = AlgorithmKind::AdaptiveHogbatch;
+//! train.time_budget = 0.01; // virtual seconds
+//! let engine = SimEngine::new(SimEngineConfig::paper_hardware(spec, train)).unwrap();
+//! let result = engine.run(&dataset);
+//! assert!(result.final_loss().is_finite());
+//! ```
+
+pub use hetero_core as core;
+pub use hetero_data as data;
+pub use hetero_gpu as gpu;
+pub use hetero_mq as mq;
+pub use hetero_nn as nn;
+pub use hetero_sim as sim;
+pub use hetero_tensor as tensor;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use hetero_core::{
+        AdaptiveController, AdaptiveParams, AlgorithmKind, LossPoint, LrScaling, SimEngine,
+        SimEngineConfig, ThreadedEngine, ThreadedEngineConfig, TrainConfig, TrainResult,
+        WorkerKind,
+    };
+    pub use hetero_data::{
+        BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig,
+    };
+    pub use hetero_nn::{
+        Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets,
+    };
+    pub use hetero_sim::{CpuModel, DeviceModel, GpuModel};
+    pub use hetero_tensor::Matrix;
+}
