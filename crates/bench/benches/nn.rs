@@ -3,9 +3,7 @@
 //! sizes, and the Hogwild shared-model update paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hetero_nn::{
-    loss_and_gradient, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets,
-};
+use hetero_nn::{loss_and_gradient, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets};
 use hetero_tensor::Matrix;
 
 fn batch(n: usize, d: usize) -> (Matrix, Vec<u32>) {

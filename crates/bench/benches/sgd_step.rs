@@ -52,29 +52,24 @@ fn bench_engine(c: &mut Criterion) {
         AlgorithmKind::CpuGpuHogbatch,
         AlgorithmKind::AdaptiveHogbatch,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("run", algo.label()),
-            &algo,
-            |b, &algo| {
-                let spec = MlpSpec {
-                    input_dim: dataset.features(),
-                    hidden: vec![32, 32],
-                    classes: dataset.num_classes(),
-                    activation: hetero_nn::Activation::Sigmoid,
-                    loss: hetero_nn::LossKind::SoftmaxCrossEntropy,
-                };
-                let train = TrainConfig {
-                    algorithm: algo,
-                    time_budget: 0.02,
-                    eval_interval: 0.01,
-                    eval_subsample: 256,
-                    ..TrainConfig::default()
-                };
-                let engine =
-                    SimEngine::new(SimEngineConfig::paper_hardware(spec, train)).unwrap();
-                b.iter(|| engine.run(&dataset));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("run", algo.label()), &algo, |b, &algo| {
+            let spec = MlpSpec {
+                input_dim: dataset.features(),
+                hidden: vec![32, 32],
+                classes: dataset.num_classes(),
+                activation: hetero_nn::Activation::Sigmoid,
+                loss: hetero_nn::LossKind::SoftmaxCrossEntropy,
+            };
+            let train = TrainConfig {
+                algorithm: algo,
+                time_budget: 0.02,
+                eval_interval: 0.01,
+                eval_subsample: 256,
+                ..TrainConfig::default()
+            };
+            let engine = SimEngine::new(SimEngineConfig::paper_hardware(spec, train)).unwrap();
+            b.iter(|| engine.run(&dataset));
+        });
     }
     group.finish();
 }

@@ -1,0 +1,91 @@
+//! Tracing overhead: the no-op sink must cost nothing on the hot path.
+//!
+//! `emit/*` measures the raw per-event cost (the disabled case is a single
+//! `enabled()` load and should be ~1 ns); `sim_run/*` measures a full short
+//! simulated run untraced, with a disabled sink, and with tracing live, so
+//! any regression of the instrumented engine paths shows up end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_core::{AlgorithmKind, SimEngine, SimEngineConfig, TrainConfig};
+use hetero_data::PaperDataset;
+use hetero_nn::MlpSpec;
+use hetero_trace::{EventKind, TraceSink};
+
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_emit");
+    group.bench_function("disabled", |b| {
+        let sink = TraceSink::disabled();
+        let mut depth = 0usize;
+        b.iter(|| {
+            depth = depth.wrapping_add(1);
+            if sink.enabled() {
+                sink.emit(0, EventKind::QueuePushed { depth });
+            }
+            depth
+        });
+    });
+    group.bench_function("enabled", |b| {
+        let sink = TraceSink::wall(1 << 12);
+        let mut depth = 0usize;
+        b.iter(|| {
+            depth = depth.wrapping_add(1);
+            if sink.enabled() {
+                sink.emit(0, EventKind::QueuePushed { depth });
+            }
+            depth
+        });
+    });
+    group.bench_function("counter_disabled", |b| {
+        let counter = TraceSink::disabled().counter("bench.counter");
+        b.iter(|| counter.add(1));
+    });
+    group.bench_function("counter_enabled", |b| {
+        let sink = TraceSink::wall(1 << 12);
+        let counter = sink.counter("bench.counter");
+        b.iter(|| counter.add(1));
+    });
+    group.finish();
+}
+
+fn engine() -> (SimEngine, hetero_data::DenseDataset) {
+    let dataset = PaperDataset::W8a.generate(0.002, 7);
+    let spec = MlpSpec {
+        input_dim: dataset.features(),
+        hidden: vec![32, 32],
+        classes: dataset.num_classes(),
+        activation: hetero_nn::Activation::Sigmoid,
+        loss: hetero_nn::LossKind::SoftmaxCrossEntropy,
+    };
+    let train = TrainConfig {
+        algorithm: AlgorithmKind::AdaptiveHogbatch,
+        time_budget: 0.02,
+        eval_interval: 0.01,
+        eval_subsample: 256,
+        ..TrainConfig::default()
+    };
+    let engine = SimEngine::new(SimEngineConfig::paper_hardware(spec, train)).unwrap();
+    (engine, dataset)
+}
+
+fn bench_sim_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_sim_run");
+    group.sample_size(10);
+    let (eng, dataset) = engine();
+    group.bench_function("untraced", |b| b.iter(|| eng.run(&dataset)));
+    group.bench_function("disabled_sink", |b| {
+        let sink = TraceSink::disabled();
+        b.iter(|| eng.run_traced(&dataset, &sink));
+    });
+    group.bench_function("enabled_sink", |b| {
+        let sink = TraceSink::virtual_time(1 << 14);
+        b.iter(|| {
+            let r = eng.run_traced(&dataset, &sink);
+            sink.drain();
+            r
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_sim_run);
+criterion_main!(benches);

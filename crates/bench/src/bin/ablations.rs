@@ -60,7 +60,11 @@ fn main() {
         let r = SimEngine::new(SimEngineConfig::paper_hardware(spec.clone(), train))
             .unwrap()
             .run(&dataset);
-        println!("{beta},{:.5},{:.4}", r.final_loss(), r.cpu_update_fraction());
+        println!(
+            "{beta},{:.5},{:.4}",
+            r.final_loss(),
+            r.cpu_update_fraction()
+        );
         eprintln!(
             "beta {beta:4}: final loss {:.5}, CPU share {:4.1}%",
             r.final_loss(),

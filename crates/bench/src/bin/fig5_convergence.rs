@@ -37,7 +37,10 @@ fn main() {
         let mut svg_series = Vec::new();
         for r in &results {
             for pt in r.normalized_curve(basis) {
-                println!("{},{},{:.5},{:.5}", dataset.name, r.algorithm, pt.time, pt.loss);
+                println!(
+                    "{},{},{:.5},{:.5}",
+                    dataset.name, r.algorithm, pt.time, pt.loss
+                );
             }
             svg_series.push(Series {
                 name: r.algorithm.clone(),

@@ -40,8 +40,12 @@ fn main() {
         for r in &results {
             let curve = r.normalized_curve(basis);
             for pt in &curve {
-                writeln!(f5, "{},{},{:.5},{:.5}", dataset.name, r.algorithm, pt.time, pt.loss)
-                    .unwrap();
+                writeln!(
+                    f5,
+                    "{},{},{:.5},{:.5}",
+                    dataset.name, r.algorithm, pt.time, pt.loss
+                )
+                .unwrap();
                 writeln!(
                     f6,
                     "{},{},{:.4},{:.5}",

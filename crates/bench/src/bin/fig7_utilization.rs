@@ -35,10 +35,9 @@ fn main() {
         let spec = h.network(p, &dataset);
         let mut train = h.train_config(algo, &dataset);
         train.max_epochs = Some(3);
-        let engine = hetero_core::SimEngine::new(
-            hetero_core::SimEngineConfig::paper_hardware(spec, train),
-        )
-        .unwrap();
+        let engine =
+            hetero_core::SimEngine::new(hetero_core::SimEngineConfig::paper_hardware(spec, train))
+                .unwrap();
         let r = engine.run(&dataset);
 
         // Sample each worker's timeline on a grid covering the *active*

@@ -20,7 +20,10 @@ fn main() {
     println!("dataset,algorithm,cpu_updates,gpu_updates,cpu_fraction");
     for p in PaperDataset::all() {
         let dataset = h.dataset(p);
-        for algo in [AlgorithmKind::CpuGpuHogbatch, AlgorithmKind::AdaptiveHogbatch] {
+        for algo in [
+            AlgorithmKind::CpuGpuHogbatch,
+            AlgorithmKind::AdaptiveHogbatch,
+        ] {
             let r = h.run_on(p, &dataset, algo);
             let cpu: f64 = r
                 .workers

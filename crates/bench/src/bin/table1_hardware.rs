@@ -12,9 +12,15 @@ fn main() {
 
     println!("# Table I: hardware architecture specifications");
     println!("component,paper,simulated");
-    println!("CPU cores,18 per socket (2 sockets),{} worker threads of {}", cpu.threads, cpu.hw_threads);
+    println!(
+        "CPU cores,18 per socket (2 sockets),{} worker threads of {}",
+        cpu.threads, cpu.hw_threads
+    );
     println!("CPU threads,36 per socket,{}", cpu.hw_threads);
-    println!("GPU MPs,80 (V100),occupancy curve b/(b+{})", gpu.occupancy_half_batch);
+    println!(
+        "GPU MPs,80 (V100),occupancy curve b/(b+{})",
+        gpu.occupancy_half_batch
+    );
     println!("GPU threads,2048 per MP,modeled via occupancy");
     println!("L1 cache,32(D) KB / 128 KB,— (throughput model)");
     println!("L2 cache,256 KB / 6 MB,— (throughput model)");
@@ -27,12 +33,24 @@ fn main() {
     println!("GPU peak fp32,{:.1} TFLOP/s", gpu.peak_flops / 1e12);
     println!("GPU occupancy @512,{:.2}", gpu.occupancy(512));
     println!("GPU occupancy @8192,{:.2}", gpu.occupancy(8192));
-    println!("GPU kernel-launch overhead,{:.0} us/step", gpu.launch_overhead * 1e6);
+    println!(
+        "GPU kernel-launch overhead,{:.0} us/step",
+        gpu.launch_overhead * 1e6
+    );
     println!("PCIe bandwidth,{:.0} GB/s", gpu.transfer_bandwidth / 1e9);
     println!("PCIe latency,{:.0} us", gpu.transfer_latency * 1e6);
-    println!("CPU per-thread GEMV,{:.1} GFLOP/s", cpu.thread_flops(1) / 1e9);
-    println!("CPU per-thread GEMM,{:.1} GFLOP/s", cpu.thread_flops(1024) / 1e9);
-    println!("CPU dispatch overhead,{:.0} us/batch", cpu.dispatch_overhead * 1e6);
+    println!(
+        "CPU per-thread GEMV,{:.1} GFLOP/s",
+        cpu.thread_flops(1) / 1e9
+    );
+    println!(
+        "CPU per-thread GEMM,{:.1} GFLOP/s",
+        cpu.thread_flops(1024) / 1e9
+    );
+    println!(
+        "CPU dispatch overhead,{:.0} us/batch",
+        cpu.dispatch_overhead * 1e6
+    );
 
     // The single number the models are calibrated against (§VII-B).
     let fpe: u64 = {
@@ -45,7 +63,10 @@ fn main() {
             (512, 512),
             (512, 2),
         ];
-        3 * dims.iter().map(|&(i, o)| 2 * (i as u64) * (o as u64)).sum::<u64>()
+        3 * dims
+            .iter()
+            .map(|&(i, o)| 2 * (i as u64) * (o as u64))
+            .sum::<u64>()
     };
     let n = 581_012usize;
     let gpu_epoch = (n.div_ceil(8192)) as f64

@@ -173,6 +173,25 @@ impl Harness {
             .expect("valid experiment config");
         engine.run(dataset)
     }
+
+    /// Like [`Harness::run_on`] but with a trace sink attached: returns the
+    /// drained virtual-time event trace alongside the result, so figure
+    /// binaries can derive utilization (and anything else) from events
+    /// instead of the engine's built-in timelines.
+    pub fn run_on_traced(
+        &self,
+        which: PaperDataset,
+        dataset: &DenseDataset,
+        algo: AlgorithmKind,
+    ) -> (TrainResult, hetero_trace::Trace) {
+        let spec = self.network(which, dataset);
+        let train = self.train_config(algo, dataset);
+        let engine = SimEngine::new(SimEngineConfig::paper_hardware(spec, train))
+            .expect("valid experiment config");
+        let sink = hetero_trace::TraceSink::virtual_time(hetero_trace::DEFAULT_RING_CAPACITY);
+        let result = engine.run_traced(dataset, &sink);
+        (result, sink.drain())
+    }
 }
 
 /// Normalization basis: the paper normalizes all loss curves to the
@@ -220,8 +239,10 @@ mod tests {
 
     #[test]
     fn network_matches_paper_depths() {
-        let mut h = Harness::default();
-        h.depth_factor = 1.0;
+        let mut h = Harness {
+            depth_factor: 1.0,
+            ..Harness::default()
+        };
         let d = h.dataset(PaperDataset::Covtype);
         let s = h.network(PaperDataset::Covtype, &d);
         assert_eq!(s.hidden.len(), 6);
@@ -231,6 +252,25 @@ mod tests {
         h.depth_factor = 0.5;
         let s = h.network(PaperDataset::RealSim, &d);
         assert_eq!(s.hidden.len(), 2);
+    }
+
+    #[test]
+    fn traced_cell_yields_virtual_time_events() {
+        let h = Harness {
+            scale: 0.0005,
+            width: 16,
+            budget: 0.02,
+            depth_factor: 0.5,
+            seed: 1,
+        };
+        let d = h.dataset(PaperDataset::W8a);
+        let (r, trace) = h.run_on_traced(PaperDataset::W8a, &d, AlgorithmKind::AdaptiveHogbatch);
+        assert!(r.final_loss().is_finite());
+        assert!(!trace.is_empty());
+        assert_eq!(trace.domain, hetero_trace::TimeDomain::Virtual);
+        let util = hetero_trace::utilization::utilization(&trace);
+        assert!(!util.is_empty());
+        assert!(util.iter().any(|w| w.busy_secs > 0.0));
     }
 
     #[test]

@@ -173,7 +173,12 @@ pub fn render(cfg: &ChartConfig, series: &[Series]) -> Option<String> {
             .filter(|&&(x, y)| x.is_finite() && y.is_finite() && (!cfg.log_y || y > 0.0))
             .enumerate()
             .map(|(j, &(x, y))| {
-                format!("{}{:.1},{:.1}", if j == 0 { "M" } else { "L" }, px(x), py(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if j == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                )
             })
             .collect();
         if !path.is_empty() {
@@ -218,7 +223,9 @@ pub fn write_chart(
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! a floor on device utilization — so adaptation trades *bounded* GPU
 //! utilization for a balanced update distribution (Figures 7 and 8).
 
+use hetero_trace::{EventKind, ResizeReason, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Per-worker adaptation state.
@@ -75,6 +76,16 @@ impl AdaptiveController {
     /// Algorithm 2, lines 1–5: recompute worker `w`'s batch size and return
     /// it. Call on every `ScheduleWork` request.
     pub fn on_request(&mut self, w: usize) -> usize {
+        self.on_request_traced(w, &TraceSink::disabled())
+    }
+
+    /// [`AdaptiveController::on_request`] that additionally emits a
+    /// [`EventKind::BatchResized`] event through `sink` whenever the batch
+    /// size actually changes. The reason distinguishes the controller's
+    /// `÷α` (behind) and `×α` (ahead) branches from threshold clamping —
+    /// a resize that would have crossed a threshold but landed exactly on
+    /// it is reported as `Clamped`.
+    pub fn on_request_traced(&mut self, w: usize, sink: &TraceSink) -> usize {
         let n = self.workers.len();
         if self.adapt && n > 1 {
             let u_e = self.workers[w].updates;
@@ -87,14 +98,32 @@ impl AdaptiveController {
                 }
             }
             let state = &mut self.workers[w];
+            let old = state.batch;
+            let mut reason = None;
             if u_e < min_u {
                 // Behind every other worker: shrink the batch to speed up.
                 let shrunk = (state.batch as f64 / self.alpha).floor() as usize;
                 state.batch = shrunk.max(state.min_batch);
+                reason = Some(if shrunk < state.min_batch {
+                    ResizeReason::Clamped
+                } else {
+                    ResizeReason::Behind
+                });
             } else if u_e > max_u {
                 // Ahead of every other worker: grow the batch to slow down.
                 let grown = (state.batch as f64 * self.alpha).ceil() as usize;
                 state.batch = grown.min(state.max_batch);
+                reason = Some(if grown > state.max_batch {
+                    ResizeReason::Clamped
+                } else {
+                    ResizeReason::Ahead
+                });
+            }
+            let new = state.batch;
+            if new != old && sink.enabled() {
+                if let Some(reason) = reason {
+                    sink.emit(w as u32, EventKind::BatchResized { old, new, reason });
+                }
             }
         }
         self.workers[w].batch
@@ -163,7 +192,7 @@ mod tests {
         let mut c = two_workers();
         c.report_updates(0, 5.0);
         c.report_updates(1, 100.0); // GPU far ahead
-        // GPU asks: it is ahead → batch would grow but is already at max.
+                                    // GPU asks: it is ahead → batch would grow but is already at max.
         assert_eq!(c.on_request(1), 8192);
         // CPU asks: it is behind → shrink, clamped at min.
         assert_eq!(c.on_request(0), 56);
@@ -294,12 +323,73 @@ mod tests {
     }
 
     #[test]
-    fn single_worker_never_adapts() {
+    fn traced_requests_emit_resize_events() {
+        let sink = hetero_trace::TraceSink::wall(64);
         let mut c = AdaptiveController::new(
             2.0,
             true,
-            vec![WorkerBatchState::new(100, 10, 1000)],
+            vec![
+                WorkerBatchState::new(512, 56, 4096),
+                WorkerBatchState::new(1024, 512, 8192),
+            ],
         );
+        c.report_updates(0, 100.0);
+        c.report_updates(1, 5.0);
+        assert_eq!(c.on_request_traced(0, &sink), 1024); // ahead: 512→1024
+        assert_eq!(c.on_request_traced(1, &sink), 512); // behind: 1024→512
+        assert_eq!(c.on_request_traced(0, &sink), 2048);
+        assert_eq!(c.on_request_traced(0, &sink), 4096);
+        // Already at max: no change, no event.
+        assert_eq!(c.on_request_traced(0, &sink), 4096);
+        let events = sink.drain().events_sorted();
+        let resizes: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::BatchResized { old, new, reason } => Some((e.worker, old, new, reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            resizes,
+            vec![
+                (0, 512, 1024, ResizeReason::Ahead),
+                (1, 1024, 512, ResizeReason::Behind),
+                (0, 1024, 2048, ResizeReason::Ahead),
+                (0, 2048, 4096, ResizeReason::Ahead),
+            ]
+        );
+    }
+
+    #[test]
+    fn clamped_resize_is_labelled() {
+        let sink = hetero_trace::TraceSink::wall(64);
+        let mut c = AdaptiveController::new(
+            2.0,
+            true,
+            vec![
+                WorkerBatchState::new(100, 80, 150),
+                WorkerBatchState::new(100, 80, 150),
+            ],
+        );
+        c.report_updates(0, 50.0);
+        // Worker 0 ahead: 100×2=200 exceeds max 150 → clamped.
+        assert_eq!(c.on_request_traced(0, &sink), 150);
+        // Worker 1 behind: 100/2=50 under min 80 → clamped.
+        assert_eq!(c.on_request_traced(1, &sink), 80);
+        let events = sink.drain().events_sorted();
+        let reasons: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::BatchResized { reason, .. } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec![ResizeReason::Clamped, ResizeReason::Clamped]);
+    }
+
+    #[test]
+    fn single_worker_never_adapts() {
+        let mut c = AdaptiveController::new(2.0, true, vec![WorkerBatchState::new(100, 10, 1000)]);
         c.report_updates(0, 1e9);
         assert_eq!(c.on_request(0), 100);
     }

@@ -319,28 +319,40 @@ mod tests {
     #[test]
     fn adaptive_params_validation() {
         assert!(AdaptiveParams::default().validate().is_ok());
-        let mut p = AdaptiveParams::default();
-        p.alpha = 1.0;
+        let p = AdaptiveParams {
+            alpha: 1.0,
+            ..AdaptiveParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = AdaptiveParams::default();
-        p.beta = 1.5;
+        let p = AdaptiveParams {
+            beta: 1.5,
+            ..AdaptiveParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = AdaptiveParams::default();
-        p.gpu_min_batch = 10_000;
+        let p = AdaptiveParams {
+            gpu_min_batch: 10_000,
+            ..AdaptiveParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn train_config_validation() {
         assert!(TrainConfig::default().validate().is_ok());
-        let mut c = TrainConfig::default();
-        c.lr = 0.0;
+        let c = TrainConfig {
+            lr: 0.0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TrainConfig::default();
-        c.time_budget = -1.0;
+        let c = TrainConfig {
+            time_budget: -1.0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TrainConfig::default();
-        c.gpu_batch = 0;
+        let c = TrainConfig {
+            gpu_batch: 0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -153,7 +153,8 @@ impl PsEngine {
             .collect();
 
         let mut model = Model::new(spec.clone(), cfg.train.init, cfg.train.seed);
-        let mut stats: Vec<WorkerStats> = devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
+        let mut stats: Vec<WorkerStats> =
+            devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
         let mut queue: EventQueue<Pending> = EventQueue::new();
         let mut curve: Vec<LossPoint> = Vec::new();
         let fpe = spec.train_flops_per_example();
@@ -175,10 +176,10 @@ impl PsEngine {
 
         // Kick off: each worker pulls the model (network cost) and starts.
         let assign = |worker: usize,
-                          model: &Model,
-                          queue: &mut EventQueue<Pending>,
-                          schedulers: &mut [BatchScheduler],
-                          stats: &mut [WorkerStats]| {
+                      model: &Model,
+                      queue: &mut EventQueue<Pending>,
+                      schedulers: &mut [BatchScheduler],
+                      stats: &mut [WorkerStats]| {
             if queue.now() >= budget {
                 return;
             }
@@ -243,7 +244,13 @@ impl PsEngine {
                 last_eval = t;
                 eval(&model, t, total_served(&shard_schedulers), &mut curve);
             }
-            assign(p.worker, &model, &mut queue, &mut shard_schedulers, &mut stats);
+            assign(
+                p.worker,
+                &model,
+                &mut queue,
+                &mut shard_schedulers,
+                &mut stats,
+            );
         }
         eval(&model, budget, total_served(&shard_schedulers), &mut curve);
 
@@ -257,6 +264,7 @@ impl PsEngine {
             workers: stats,
             duration: budget,
             epochs: total_served(&shard_schedulers),
+            trace_path: None,
         }
     }
 }
@@ -324,7 +332,11 @@ mod tests {
     fn ps_training_converges() {
         let data = dataset();
         let r = PsEngine::new(ps_config(0.05, 1.0)).unwrap().run(&data);
-        assert!(r.final_loss() < r.initial_loss(), "{:?}", r.loss_curve.len());
+        assert!(
+            r.final_loss() < r.initial_loss(),
+            "{:?}",
+            r.loss_curve.len()
+        );
         assert_eq!(r.algorithm, "Parameter Server");
         for w in &r.workers {
             assert!(w.batches > 0, "{:?} starved", w.kind);
@@ -349,7 +361,11 @@ mod tests {
             );
         }
         // The GPU exhausts its shard; the CPU may not finish in budget.
-        let gpu = r.workers.iter().find(|w| w.kind == WorkerKind::Gpu).unwrap();
+        let gpu = r
+            .workers
+            .iter()
+            .find(|w| w.kind == WorkerKind::Gpu)
+            .unwrap();
         assert_eq!(gpu.examples, 600, "GPU should finish its 2 shard-epochs");
     }
 

@@ -24,6 +24,7 @@ use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset};
 use hetero_nn::{loss_and_gradient, MlpSpec, Model};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
+use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -112,6 +113,18 @@ impl SimEngine {
 
     /// Train on `dataset`, returning the full metrics record.
     pub fn run(&self, dataset: &DenseDataset) -> TrainResult {
+        self.run_traced(dataset, &TraceSink::disabled())
+    }
+
+    /// [`SimEngine::run`] with structured tracing attached.
+    ///
+    /// Events are stamped with **virtual** simulation seconds: the engine
+    /// publishes its clock to the sink at every event-loop step, and
+    /// dispatch events carry their exact schedule time. The sink should be
+    /// in the virtual domain ([`TraceSink::virtual_time`]); with a disabled
+    /// sink this is exactly [`SimEngine::run`] — determinism is untouched
+    /// because tracing never feeds back into the schedule.
+    pub fn run_traced(&self, dataset: &DenseDataset, sink: &TraceSink) -> TrainResult {
         let cfg = &self.cfg;
         let train = &cfg.train;
         let algo = train.algorithm;
@@ -139,7 +152,8 @@ impl SimEngine {
         // --- Batch-size controller ---------------------------------------------
         let example_bytes = 4 * spec.input_dim as u64;
         let param_bytes = spec.param_bytes();
-        let mut controller = self.build_controller(&devices, dataset.len(), example_bytes, param_bytes);
+        let mut controller =
+            self.build_controller(&devices, dataset.len(), example_bytes, param_bytes);
 
         // --- Model, schedule, eval subset --------------------------------------
         let mut model = Model::new(spec.clone(), train.init, train.seed);
@@ -154,12 +168,13 @@ impl SimEngine {
         // pair — the "compass" CPU updates correct against (§II).
         let mut anchor: Option<(Model, Model)> = None;
         let budget = train.time_budget;
+        let timeline_rejects = sink.counter("engine.timeline_rejects");
 
         let record_eval = |t: f64,
-                               epochs: f64,
-                               model: &Model,
-                               curve: &mut Vec<LossPoint>,
-                               eval_tl: &mut UtilizationTimeline| {
+                           epochs: f64,
+                           model: &Model,
+                           curve: &mut Vec<LossPoint>,
+                           eval_tl: &mut UtilizationTimeline| {
             let pass = hetero_nn::forward(model, &eval_x, true);
             let l = hetero_nn::loss(pass.probs(), eval_labels.as_targets(), model.spec().loss);
             let acc = hetero_nn::accuracy(pass.probs(), eval_labels.as_targets());
@@ -169,6 +184,9 @@ impl SimEngine {
                 loss: l,
                 accuracy: acc,
             });
+            if sink.enabled() {
+                sink.emit_at(t, COORDINATOR, EventKind::EvalPoint { loss: l as f64 });
+            }
             // The paper runs the loss evaluation on the GPU at epoch end,
             // which shows up as a utilization spike (Figure 7). Account it
             // on a dedicated timeline to avoid perturbing worker schedules.
@@ -176,7 +194,9 @@ impl SimEngine {
                 let fwd = model.spec().forward_flops_per_example();
                 let dur = g.batch_time(fwd, eval_x.rows());
                 let start = t.max(eval_tl.horizon());
-                eval_tl.record(start, start + dur, 1.0);
+                if eval_tl.try_record(start, start + dur, 1.0).is_err() {
+                    timeline_rejects.add(1);
+                }
             }
         };
 
@@ -184,10 +204,10 @@ impl SimEngine {
         record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
 
         // --- Kick off every worker ---------------------------------------------
-        for w in 0..devices.len() {
+        for (w, device) in devices.iter().enumerate() {
             self.assign(
                 w,
-                &devices[w],
+                device,
                 &mut controller,
                 &mut scheduler,
                 &model,
@@ -195,6 +215,8 @@ impl SimEngine {
                 &mut stats,
                 budget,
                 global_updates,
+                sink,
+                &timeline_rejects,
             );
         }
         queue.schedule_at(train.eval_interval.min(budget), Ev::Eval);
@@ -210,6 +232,9 @@ impl SimEngine {
             if t > budget {
                 break;
             }
+            // Publish the virtual clock so events emitted while handling
+            // this step (merges, resizes, completions) are stamped at `t`.
+            sink.set_virtual_now(t);
             match ev {
                 Ev::Eval => {
                     record_eval(
@@ -243,6 +268,7 @@ impl SimEngine {
                         &mut stats,
                         staleness,
                         &mut anchor,
+                        sink,
                     );
                     // Epoch-boundary loss evaluation (paper: "loss
                     // computation is always performed on the GPU at the
@@ -271,6 +297,8 @@ impl SimEngine {
                         &mut stats,
                         budget,
                         global_updates,
+                        sink,
+                        &timeline_rejects,
                     );
                 }
             }
@@ -288,6 +316,13 @@ impl SimEngine {
         for (w, s) in stats.iter_mut().enumerate() {
             s.final_batch = controller.batch(w);
         }
+        if sink.enabled() {
+            sink.set_virtual_now(budget);
+            let examples: u64 = stats.iter().map(|s| s.examples).sum();
+            sink.gauge("engine.examples_per_sec")
+                .set(examples as f64 / budget.max(1e-9));
+            sink.gauge("engine.beta").set(train.adaptive.beta);
+        }
         let mut result = TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
@@ -295,6 +330,7 @@ impl SimEngine {
             workers: stats,
             duration: budget,
             epochs: scheduler.epochs_elapsed(),
+            trace_path: None,
         };
         // The epoch-end loss evaluations run on the GPU (§VII-B) but must
         // not perturb the worker schedules, so they live on a dedicated
@@ -324,11 +360,13 @@ impl SimEngine {
         stats: &mut [WorkerStats],
         budget: f64,
         global_updates: u64,
+        sink: &TraceSink,
+        timeline_rejects: &CounterHandle,
     ) {
         if queue.now() >= budget {
             return;
         }
-        let size = controller.on_request(worker);
+        let size = controller.on_request_traced(worker, sink);
         let Some(range) = scheduler.next_batch(size) else {
             return; // epoch budget exhausted
         };
@@ -337,14 +375,27 @@ impl SimEngine {
         }
         let cost = self.batch_cost(device, range.len());
         let start = queue.now();
-        stats[worker].timeline.record(
-            start,
-            start + cost,
-            match device {
-                Device::Cpu(c) => c.busy_utilization(range.len()),
-                Device::Gpu(g) => g.busy_utilization(range.len()),
-            },
-        );
+        if sink.enabled() {
+            sink.emit_at(
+                start,
+                worker as u32,
+                EventKind::BatchDispatched { batch: range.len() },
+            );
+        }
+        if stats[worker]
+            .timeline
+            .try_record(
+                start,
+                start + cost,
+                match device {
+                    Device::Cpu(c) => c.busy_utilization(range.len()),
+                    Device::Gpu(g) => g.busy_utilization(range.len()),
+                },
+            )
+            .is_err()
+        {
+            timeline_rejects.add(1);
+        }
         queue.schedule_after(
             cost,
             Ev::Complete {
@@ -409,6 +460,7 @@ impl SimEngine {
         stats: &mut [WorkerStats],
         staleness: u64,
         anchor: &mut Option<(Model, Model)>,
+        sink: &TraceSink,
     ) -> u64 {
         let train = &self.cfg.train;
         // §VI-B staleness compensation: discount the learning rate for
@@ -486,6 +538,15 @@ impl SimEngine {
                     }
                     base = model.clone();
                 }
+                if sink.enabled() {
+                    sink.emit(
+                        worker as u32,
+                        EventKind::BatchCompleted {
+                            batch: total,
+                            updates: n_updates,
+                        },
+                    );
+                }
                 let credited = n_updates as f64 * train.adaptive.beta;
                 controller.report_updates(worker, credited);
                 stats[worker].updates += credited;
@@ -508,6 +569,23 @@ impl SimEngine {
                     // The accurate large-batch gradient becomes the new
                     // variance-reduction anchor for CPU workers.
                     *anchor = Some((snapshot.clone(), g));
+                }
+                if sink.enabled() {
+                    // The simulated GPU merge is the staleness-discounted
+                    // apply of the deep-copy replica's gradient (§VI-B).
+                    sink.emit(
+                        worker as u32,
+                        EventKind::ModelMerge {
+                            scale: discount as f64,
+                        },
+                    );
+                    sink.emit(
+                        worker as u32,
+                        EventKind::BatchCompleted {
+                            batch: range.len(),
+                            updates: 1,
+                        },
+                    );
                 }
                 controller.report_updates(worker, 1.0);
                 stats[worker].updates += 1.0;
@@ -561,14 +639,19 @@ impl SimEngine {
                         let b = proportional_cpu_batch(c).max(1);
                         WorkerBatchState::new(b, b, b)
                     } else {
-                        let b = (train.cpu_batch_per_thread * c.threads).min(n.max(1)).max(1);
+                        let b = (train.cpu_batch_per_thread * c.threads)
+                            .min(n.max(1))
+                            .max(1);
                         WorkerBatchState::new(b, b, b)
                     }
                 }
                 Device::Gpu(g) => {
                     // §VI-B: device memory bounds the batch size.
                     let mem_cap = g
-                        .max_batch(example_bytes + 8 * self.cfg.spec.hidden.iter().sum::<usize>() as u64, param_bytes)
+                        .max_batch(
+                            example_bytes + 8 * self.cfg.spec.hidden.iter().sum::<usize>() as u64,
+                            param_bytes,
+                        )
                         .max(1);
                     if adapt {
                         let max_b = p.gpu_max_batch.min(mem_cap).max(1);
@@ -717,7 +800,11 @@ mod tests {
     fn every_algorithm_reduces_loss() {
         let data = tiny_dataset();
         for algo in AlgorithmKind::all() {
-            let budget = if algo == AlgorithmKind::HogwildCpu { 0.1 } else { 0.05 };
+            let budget = if algo == AlgorithmKind::HogwildCpu {
+                0.1
+            } else {
+                0.05
+            };
             let cfg = tiny_config(algo, budget);
             let r = SimEngine::new(cfg).unwrap().run(&data);
             assert!(
@@ -830,7 +917,11 @@ mod tests {
             .run(&data);
         for w in &r.workers {
             if w.batches > 0 {
-                assert!(w.timeline.busy_time() > 0.0, "{:?} has empty timeline", w.kind);
+                assert!(
+                    w.timeline.busy_time() > 0.0,
+                    "{:?} has empty timeline",
+                    w.kind
+                );
                 // Busy time cannot exceed the run duration.
                 assert!(w.timeline.horizon() <= r.duration * 1.5);
             }
@@ -967,6 +1058,59 @@ mod tests {
         let t_plain = e_plain.batch_cost(&cpu, 64);
         let t_svrg = e_svrg.batch_cost(&cpu, 64);
         assert!((t_svrg - 2.0 * t_plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_sim_run_is_virtual_time_and_deterministic() {
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.05);
+
+        let sink = TraceSink::virtual_time(1 << 14);
+        let traced = SimEngine::new(cfg.clone())
+            .unwrap()
+            .run_traced(&data, &sink);
+        let plain = SimEngine::new(cfg.clone()).unwrap().run(&data);
+        // Tracing must not feed back into the schedule or the math.
+        assert_eq!(traced.loss_curve.len(), plain.loss_curve.len());
+        for (a, b) in traced.loss_curve.iter().zip(&plain.loss_curve) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.time, b.time);
+        }
+
+        let trace = sink.drain();
+        assert_eq!(trace.domain, hetero_trace::TimeDomain::Virtual);
+        let events = trace.events_sorted();
+        assert!(!events.is_empty());
+        // Virtual stamps live inside the budget (final eval lands on it).
+        for e in &events {
+            assert!(
+                e.t >= 0.0 && e.t <= cfg.train.time_budget + 1e-9,
+                "t={}",
+                e.t
+            );
+        }
+        let has = |f: &dyn Fn(&EventKind) -> bool| events.iter().any(|e| f(&e.kind));
+        assert!(has(&|k| matches!(k, EventKind::BatchDispatched { .. })));
+        assert!(has(&|k| matches!(k, EventKind::BatchCompleted { .. })));
+        assert!(has(&|k| matches!(k, EventKind::ModelMerge { .. })));
+        assert!(
+            has(&|k| matches!(k, EventKind::BatchResized { .. })),
+            "adaptive run resized no batch"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::EvalPoint { .. }) && e.worker == COORDINATOR));
+
+        // Same run again: identical virtual event stream (determinism).
+        let sink2 = TraceSink::virtual_time(1 << 14);
+        let _ = SimEngine::new(cfg).unwrap().run_traced(&data, &sink2);
+        let events2 = sink2.drain().events_sorted();
+        assert_eq!(events.len(), events2.len());
+        for (a, b) in events.iter().zip(&events2) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.worker, b.worker);
+            assert_eq!(a.kind, b.kind);
+        }
     }
 
     #[test]

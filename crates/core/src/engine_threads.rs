@@ -19,9 +19,10 @@ use std::time::{Duration, Instant};
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
 use hetero_gpu::{GpuDevice, GpuMlp};
-use hetero_mq::{channel, Receiver, RecvTimeoutError, Sender};
+use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
 use hetero_nn::{loss_and_gradient, MlpSpec, Model, SharedModel};
 use hetero_sim::{DeviceModel, GpuModel};
+use hetero_trace::{EventKind, TraceSink, COORDINATOR};
 
 use crate::adaptive::{AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
@@ -89,6 +90,17 @@ impl ThreadedEngine {
 
     /// Train on `dataset` until the wall-clock budget expires.
     pub fn run(&self, dataset: Arc<DenseDataset>) -> TrainResult {
+        self.run_traced(dataset, &TraceSink::disabled())
+    }
+
+    /// [`ThreadedEngine::run`] with structured tracing attached.
+    ///
+    /// Every batch dispatch/completion, adaptive resize, queue operation,
+    /// GPU transfer/kernel, model merge, and eval point flows through
+    /// `sink`, stamped with wall seconds since the sink was created. The
+    /// sink should be in the wall-clock domain ([`TraceSink::wall`]); with
+    /// a disabled sink this is exactly [`ThreadedEngine::run`].
+    pub fn run_traced(&self, dataset: Arc<DenseDataset>, sink: &TraceSink) -> TrainResult {
         let cfg = &self.cfg;
         let train = cfg.train.clone();
         let algo = train.algorithm;
@@ -110,11 +122,11 @@ impl ThreadedEngine {
             }
         }
 
-        let (ready_tx, ready_rx) = channel::<Ready>();
+        let (ready_tx, ready_rx) = channel_traced::<Ready>(sink, "ready", COORDINATOR);
         let mut exec_txs: Vec<Sender<CoordMsg>> = Vec::new();
         let mut handles = Vec::new();
         for (slot, kind) in kinds.iter().enumerate() {
-            let (tx, rx) = channel::<CoordMsg>();
+            let (tx, rx) = channel_traced::<CoordMsg>(sink, &format!("exec{slot}"), slot as u32);
             exec_txs.push(tx);
             let h = match kind {
                 WorkerKind::Cpu => self.spawn_cpu_worker(
@@ -125,6 +137,7 @@ impl ThreadedEngine {
                     ready_tx.clone(),
                     t0,
                     train.clone(),
+                    sink.clone(),
                 ),
                 WorkerKind::Gpu => self.spawn_gpu_worker(
                     slot,
@@ -134,6 +147,7 @@ impl ThreadedEngine {
                     ready_tx.clone(),
                     t0,
                     train.clone(),
+                    sink.clone(),
                 ),
             };
             handles.push(h);
@@ -147,16 +161,27 @@ impl ThreadedEngine {
         let mut curve: Vec<LossPoint> = Vec::new();
         let eval_n = train.eval_subsample.min(dataset.len());
 
+        let timeline_rejects = sink.counter("engine.timeline_rejects");
+
         let eval = |shared: &SharedModel, scheduler: &BatchScheduler, t0: Instant| -> LossPoint {
             let model = shared.snapshot();
             let (x, labels) = dataset.batch(0, eval_n);
             let pass = hetero_nn::forward(&model, &x, true);
-            LossPoint {
+            let point = LossPoint {
                 time: t0.elapsed().as_secs_f64(),
                 epochs: scheduler.epochs_elapsed(),
                 loss: hetero_nn::loss(pass.probs(), labels.as_targets(), spec.loss),
                 accuracy: hetero_nn::accuracy(pass.probs(), labels.as_targets()),
+            };
+            if sink.enabled() {
+                sink.emit(
+                    COORDINATOR,
+                    EventKind::EvalPoint {
+                        loss: point.loss as f64,
+                    },
+                );
             }
+            point
         };
         curve.push(eval(&shared, &scheduler, t0));
 
@@ -164,10 +189,15 @@ impl ThreadedEngine {
         let mut active = vec![true; kinds.len()];
         // Kick off every worker.
         for w in 0..kinds.len() {
-            let size = controller.on_request(w);
+            let size = controller.on_request_traced(w, sink);
             match scheduler.next_batch(size) {
                 Some(range) if !range.is_empty() => {
-                    exec_txs[w].send(CoordMsg::Execute(range)).expect("worker alive");
+                    if sink.enabled() {
+                        sink.emit(w as u32, EventKind::BatchDispatched { batch: range.len() });
+                    }
+                    exec_txs[w]
+                        .send(CoordMsg::Execute(range))
+                        .expect("worker alive");
                 }
                 _ => {
                     let _ = exec_txs[w].send(CoordMsg::Stop);
@@ -194,8 +224,7 @@ impl ThreadedEngine {
                     s.examples += r.examples;
                     let level = match s.kind {
                         WorkerKind::Cpu => {
-                            (r.batch.min(self.cfg.cpu_threads) as f64)
-                                / self.cfg.cpu_threads as f64
+                            (r.batch.min(self.cfg.cpu_threads) as f64) / self.cfg.cpu_threads as f64
                         }
                         WorkerKind::Gpu => self.cfg.gpu_perf.busy_utilization(r.batch),
                     };
@@ -203,12 +232,20 @@ impl ThreadedEngine {
                     // clamp monotonic.
                     let start = r.busy_start.max(s.timeline.horizon());
                     let end = r.busy_end.max(start);
-                    s.timeline.record(start, end, level);
+                    if s.timeline.try_record(start, end, level).is_err() {
+                        timeline_rejects.add(1);
+                    }
 
                     if t0.elapsed() < budget {
-                        let size = controller.on_request(r.worker);
+                        let size = controller.on_request_traced(r.worker, sink);
                         match scheduler.next_batch(size) {
                             Some(range) if !range.is_empty() => {
+                                if sink.enabled() {
+                                    sink.emit(
+                                        r.worker as u32,
+                                        EventKind::BatchDispatched { batch: range.len() },
+                                    );
+                                }
                                 exec_txs[r.worker]
                                     .send(CoordMsg::Execute(range))
                                     .expect("worker alive");
@@ -235,13 +272,21 @@ impl ThreadedEngine {
         for (w, s) in stats.iter_mut().enumerate() {
             s.final_batch = controller.batch(w);
         }
+        let duration = t0.elapsed().as_secs_f64();
+        if sink.enabled() {
+            let examples: u64 = stats.iter().map(|s| s.examples).sum();
+            sink.gauge("engine.examples_per_sec")
+                .set(examples as f64 / duration.max(1e-9));
+            sink.gauge("engine.beta").set(train.adaptive.beta);
+        }
         TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
             loss_curve: curve,
             workers: stats,
-            duration: t0.elapsed().as_secs_f64(),
+            duration,
             epochs: scheduler.epochs_elapsed(),
+            trace_path: None,
         }
     }
 
@@ -255,6 +300,7 @@ impl ThreadedEngine {
         tx: Sender<Ready>,
         t0: Instant,
         train: TrainConfig,
+        sink: TraceSink,
     ) -> std::thread::JoinHandle<()> {
         let threads = self.cfg.cpu_threads;
         std::thread::Builder::new()
@@ -298,6 +344,15 @@ impl ThreadedEngine {
                         });
                     });
                     let busy_end = t0.elapsed().as_secs_f64();
+                    if sink.enabled() {
+                        sink.emit(
+                            slot as u32,
+                            EventKind::BatchCompleted {
+                                batch: total,
+                                updates: n_updates,
+                            },
+                        );
+                    }
                     if tx
                         .send(Ready {
                             worker: slot,
@@ -326,12 +381,13 @@ impl ThreadedEngine {
         tx: Sender<Ready>,
         t0: Instant,
         train: TrainConfig,
+        sink: TraceSink,
     ) -> std::thread::JoinHandle<()> {
         let perf = self.cfg.gpu_perf.clone();
         std::thread::Builder::new()
             .name(format!("gpu-worker-{slot}"))
             .spawn(move || {
-                let device = GpuDevice::new(perf);
+                let device = GpuDevice::new_traced(perf, &sink, slot as u32);
                 let base = shared.snapshot();
                 let mut mlp = match GpuMlp::upload(&device, &base) {
                     Ok(m) => m,
@@ -355,13 +411,26 @@ impl ThreadedEngine {
                     // without clobbering concurrent CPU updates. §VI-B:
                     // the delta is discounted by how stale its base
                     // snapshot became while the device was computing.
-                    let staleness =
-                        shared.update_count().saturating_sub(updates_at_snapshot);
-                    let scale =
-                        1.0 / (1.0 + train.staleness_discount * staleness as f32);
+                    let staleness = shared.update_count().saturating_sub(updates_at_snapshot);
+                    let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
                     let replica = mlp.download();
                     shared.merge_delta_scaled(&snapshot, &replica, scale);
                     let busy_end = t0.elapsed().as_secs_f64();
+                    if sink.enabled() {
+                        sink.emit(
+                            slot as u32,
+                            EventKind::ModelMerge {
+                                scale: scale as f64,
+                            },
+                        );
+                        sink.emit(
+                            slot as u32,
+                            EventKind::BatchCompleted {
+                                batch: range.len(),
+                                updates: 1,
+                            },
+                        );
+                    }
                     if tx
                         .send(Ready {
                             worker: slot,
@@ -515,6 +584,61 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_emits_batch_lifecycle() {
+        let sink = TraceSink::wall(8192);
+        let r = ThreadedEngine::new(config(AlgorithmKind::AdaptiveHogbatch, 0.4))
+            .unwrap()
+            .run_traced(dataset(), &sink);
+        assert!(r.final_loss().is_finite());
+        assert!(
+            r.trace_path.is_none(),
+            "engine never writes the file itself"
+        );
+        let trace = sink.drain();
+        let events = trace.events_sorted();
+        let (mut dispatched, mut completed, mut evals, mut merges) = (0u64, 0u64, 0u64, 0u64);
+        for e in &events {
+            match e.kind {
+                EventKind::BatchDispatched { batch } => {
+                    assert!(batch > 0);
+                    dispatched += 1;
+                }
+                EventKind::BatchCompleted { .. } => completed += 1,
+                EventKind::EvalPoint { .. } => {
+                    assert_eq!(e.worker, COORDINATOR);
+                    evals += 1;
+                }
+                EventKind::ModelMerge { scale } => {
+                    assert!(scale > 0.0 && scale <= 1.0);
+                    merges += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(dispatched > 0, "no dispatches traced");
+        assert!(completed > 0, "no completions traced");
+        assert!(merges > 0, "GPU merges not traced");
+        assert!(evals >= 2, "expected initial + final eval, got {evals}");
+        // Both worker slots (CPU=0, GPU=1) completed work.
+        let workers: std::collections::HashSet<u32> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BatchCompleted { .. }))
+            .map(|e| e.worker)
+            .collect();
+        assert!(workers.contains(&0) && workers.contains(&1), "{workers:?}");
+        let counters: std::collections::HashMap<String, f64> =
+            trace.counters.iter().cloned().collect();
+        assert!(
+            counters
+                .get("engine.examples_per_sec")
+                .copied()
+                .unwrap_or(0.0)
+                > 0.0
+        );
+        assert_eq!(counters.get("engine.beta"), Some(&1.0));
+    }
+
+    #[test]
     fn multi_gpu_threaded_workers() {
         // The paper's future work: scale the framework to multi-GPU.
         let mut cfg = config(AlgorithmKind::CpuGpuHogbatch, 0.5);
@@ -526,7 +650,10 @@ mod tests {
             .filter(|w| w.kind == WorkerKind::Gpu)
             .collect();
         assert_eq!(gpu_workers.len(), 2);
-        assert!(gpu_workers.iter().all(|w| w.batches > 0), "an idle GPU worker");
+        assert!(
+            gpu_workers.iter().all(|w| w.batches > 0),
+            "an idle GPU worker"
+        );
         assert!(r.final_loss() < r.initial_loss());
     }
 

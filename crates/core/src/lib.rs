@@ -45,7 +45,7 @@ pub mod metrics;
 pub mod svrg;
 
 pub use adaptive::AdaptiveController;
-pub use config::{AlgorithmKind, AdaptiveParams, LrScaling, TrainConfig};
+pub use config::{AdaptiveParams, AlgorithmKind, LrScaling, TrainConfig};
 pub use engine_ps::{NetworkModel, PsEngine, PsEngineConfig};
 pub use engine_sim::{SimEngine, SimEngineConfig};
 pub use engine_threads::{ThreadedEngine, ThreadedEngineConfig};

@@ -78,6 +78,9 @@ pub struct TrainResult {
     pub duration: f64,
     /// Fractional epochs completed.
     pub epochs: f64,
+    /// Path of the exported trace file, when the caller ran with tracing
+    /// attached and wrote one (e.g. `hetero-train --trace`).
+    pub trace_path: Option<String>,
 }
 
 impl TrainResult {
@@ -163,10 +166,30 @@ mod tests {
             algorithm: "test".into(),
             dataset: "toy".into(),
             loss_curve: vec![
-                LossPoint { time: 0.0, epochs: 0.0, loss: 1.0, accuracy: 0.0 },
-                LossPoint { time: 1.0, epochs: 0.5, loss: 0.6, accuracy: 0.0 },
-                LossPoint { time: 2.0, epochs: 1.0, loss: 0.4, accuracy: 0.0 },
-                LossPoint { time: 3.0, epochs: 1.5, loss: 0.45, accuracy: 0.0 },
+                LossPoint {
+                    time: 0.0,
+                    epochs: 0.0,
+                    loss: 1.0,
+                    accuracy: 0.0,
+                },
+                LossPoint {
+                    time: 1.0,
+                    epochs: 0.5,
+                    loss: 0.6,
+                    accuracy: 0.0,
+                },
+                LossPoint {
+                    time: 2.0,
+                    epochs: 1.0,
+                    loss: 0.4,
+                    accuracy: 0.0,
+                },
+                LossPoint {
+                    time: 3.0,
+                    epochs: 1.5,
+                    loss: 0.45,
+                    accuracy: 0.0,
+                },
             ],
             workers: vec![
                 WorkerStats {
@@ -188,6 +211,7 @@ mod tests {
             ],
             duration: 3.0,
             epochs: 1.5,
+            trace_path: None,
         }
     }
 
@@ -238,6 +262,7 @@ mod tests {
             workers: vec![],
             duration: 0.0,
             epochs: 0.0,
+            trace_path: None,
         };
         assert_eq!(r.min_loss(), f32::INFINITY);
         assert_eq!(r.cpu_update_fraction(), 0.0);

@@ -58,7 +58,10 @@ fn full_gradient(model: &Model, dataset: &DenseDataset) -> (f32, Model) {
 /// Run SVRG; returns the full-dataset loss after each outer iteration
 /// (index 0 is the initial loss).
 pub fn train_svrg(model: &mut Model, dataset: &DenseDataset, cfg: &SvrgConfig) -> Vec<f32> {
-    assert!(cfg.batch > 0 && cfg.batch <= dataset.len(), "bad batch size");
+    assert!(
+        cfg.batch > 0 && cfg.batch <= dataset.len(),
+        "bad batch size"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut losses = Vec::with_capacity(cfg.outer_iters + 1);
     let (l0, _) = full_gradient(model, dataset);
@@ -88,12 +91,11 @@ pub fn train_svrg(model: &mut Model, dataset: &DenseDataset, cfg: &SvrgConfig) -
 
 /// Plain mini-batch SGD with the identical sampling pattern and step count
 /// (the fair baseline for measuring SVRG's variance reduction).
-pub fn train_sgd_baseline(
-    model: &mut Model,
-    dataset: &DenseDataset,
-    cfg: &SvrgConfig,
-) -> Vec<f32> {
-    assert!(cfg.batch > 0 && cfg.batch <= dataset.len(), "bad batch size");
+pub fn train_sgd_baseline(model: &mut Model, dataset: &DenseDataset, cfg: &SvrgConfig) -> Vec<f32> {
+    assert!(
+        cfg.batch > 0 && cfg.batch <= dataset.len(),
+        "bad batch size"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut losses = Vec::with_capacity(cfg.outer_iters + 1);
     let (l0, _) = full_gradient(model, dataset);
@@ -167,10 +169,7 @@ mod tests {
         let (mut model, data) = setup();
         let losses = train_svrg(&mut model, &data, &SvrgConfig::default());
         assert_eq!(losses.len(), 6);
-        assert!(
-            losses.last().unwrap() < &(losses[0] * 0.8),
-            "{losses:?}"
-        );
+        assert!(losses.last().unwrap() < &(losses[0] * 0.8), "{losses:?}");
         assert!(losses.iter().all(|l| l.is_finite()));
     }
 
@@ -191,10 +190,7 @@ mod tests {
         // With a small batch and aggressive rate, variance reduction should
         // leave SVRG at or below the SGD loss (allowing 15% slack — these
         // are stochastic trajectories).
-        assert!(
-            l_svrg <= l_sgd * 1.15,
-            "SVRG {l_svrg} vs SGD {l_sgd}"
-        );
+        assert!(l_svrg <= l_sgd * 1.15, "SVRG {l_svrg} vs SGD {l_sgd}");
     }
 
     #[test]
@@ -202,8 +198,7 @@ mod tests {
         // At the anchor itself the corrected estimator equals the full
         // gradient exactly: variance must be ~0 and far below plain SGD.
         let (model, data) = setup();
-        let (var_sgd, var_svrg) =
-            direction_variance(&model, &model, &data, 4, 16, 3);
+        let (var_sgd, var_svrg) = direction_variance(&model, &model, &data, 4, 16, 3);
         assert!(
             var_svrg < var_sgd * 0.05,
             "svrg {var_svrg} vs sgd {var_sgd}"

@@ -71,8 +71,14 @@ fn controller_converges_to_steady_batches() {
     cpu_vals.dedup();
     gpu_vals.sort_unstable();
     gpu_vals.dedup();
-    assert!(cpu_vals.len() <= 3, "CPU batch oscillates over {cpu_vals:?}");
-    assert!(gpu_vals.len() <= 3, "GPU batch oscillates over {gpu_vals:?}");
+    assert!(
+        cpu_vals.len() <= 3,
+        "CPU batch oscillates over {cpu_vals:?}"
+    );
+    assert!(
+        gpu_vals.len() <= 3,
+        "GPU batch oscillates over {gpu_vals:?}"
+    );
     // The CPU (many updates per batch) must have been slowed down relative
     // to its starting point, and the GPU must have been sped up at some
     // point (the α = 2 ladder may oscillate across the top rung, so check
@@ -163,7 +169,10 @@ fn slow_worker_recovers_after_transient_stall() {
     let r1 = controller.on_request(0);
     let r2 = controller.on_request(0);
     let r3 = controller.on_request(0);
-    assert!(r1 <= pre_stall && r2 <= r1 && r3 <= r2, "{pre_stall} {r1} {r2} {r3}");
+    assert!(
+        r1 <= pre_stall && r2 <= r1 && r3 <= r2,
+        "{pre_stall} {r1} {r2} {r3}"
+    );
     assert!(r3 < pre_stall.max(513), "no shrink toward the floor: {r3}");
     let batch_after_stall = r3;
     // Recovery: the smaller batch lets worker 0 close the gap.

@@ -2,8 +2,7 @@
 //! across algorithms and seeds.
 
 use hetero_core::{
-    AdaptiveParams, AlgorithmKind, LrScaling, SimEngine, SimEngineConfig, TrainConfig,
-    WorkerKind,
+    AdaptiveParams, AlgorithmKind, LrScaling, SimEngine, SimEngineConfig, TrainConfig, WorkerKind,
 };
 use hetero_data::SynthConfig;
 use hetero_nn::MlpSpec;
@@ -87,7 +86,9 @@ fn every_extended_algorithm_produces_valid_metrics() {
         // Structural invariants on the result record.
         assert!(!r.loss_curve.is_empty(), "{}: empty curve", r.algorithm);
         assert!(
-            r.loss_curve.iter().all(|p| p.loss.is_finite() && p.loss >= 0.0),
+            r.loss_curve
+                .iter()
+                .all(|p| p.loss.is_finite() && p.loss >= 0.0),
             "{}: bad loss values",
             r.algorithm
         );
@@ -102,14 +103,28 @@ fn every_extended_algorithm_produces_valid_metrics() {
             .workers
             .iter()
             .any(|w| w.kind == WorkerKind::Gpu && w.batches > 0);
-        assert_eq!(has_cpu, algo.uses_cpu(), "{}: CPU usage mismatch", r.algorithm);
-        assert_eq!(has_gpu, algo.uses_gpu(), "{}: GPU usage mismatch", r.algorithm);
+        assert_eq!(
+            has_cpu,
+            algo.uses_cpu(),
+            "{}: CPU usage mismatch",
+            r.algorithm
+        );
+        assert_eq!(
+            has_gpu,
+            algo.uses_gpu(),
+            "{}: GPU usage mismatch",
+            r.algorithm
+        );
         // Examples served per worker sum to epochs × dataset, up to the
         // batches still in flight when the budget expired (assigned by the
         // scheduler but never completed).
         let served: u64 = r.workers.iter().map(|w| w.examples).sum();
         let expected = (r.epochs * data.len() as f64).round() as u64;
-        assert!(served <= expected, "{}: served more than scheduled", r.algorithm);
+        assert!(
+            served <= expected,
+            "{}: served more than scheduled",
+            r.algorithm
+        );
         let in_flight = expected - served;
         let max_outstanding = (r.workers.len() as u64) * 256;
         assert!(

@@ -235,7 +235,7 @@ mod tests {
         let mut s = BatchScheduler::new(4, None);
         for i in 0..100 {
             let b = s.next_batch(3).unwrap();
-            assert!(b.len() > 0, "iteration {i}");
+            assert!(!b.is_empty(), "iteration {i}");
         }
         assert!(s.epochs_elapsed() > 20.0);
     }
@@ -286,11 +286,9 @@ mod tests {
     #[test]
     fn shuffled_scheduler_covers_every_example_each_epoch() {
         let mut s = ShuffledScheduler::new(50, 8, 7, Some(1));
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         while let Some(b) = s.next_block() {
-            for i in b.start..b.end {
-                seen[i] = true;
-            }
+            seen[b.start..b.end].iter_mut().for_each(|s| *s = true);
         }
         assert!(seen.iter().all(|&v| v), "incomplete epoch coverage");
     }

@@ -206,7 +206,11 @@ mod tests {
     fn realsim_shrinks_features_with_sqrt_scale() {
         let d = PaperDataset::RealSim.generate(0.01, 42);
         // 20958 * 0.1 ≈ 2096
-        assert!((1800..=2400).contains(&d.features()), "features {}", d.features());
+        assert!(
+            (1800..=2400).contains(&d.features()),
+            "features {}",
+            d.features()
+        );
         assert!(d.sparsity() > 0.5, "real-sim stand-in should stay sparse");
     }
 
@@ -222,7 +226,10 @@ mod tests {
         for p in PaperDataset::all() {
             assert_eq!(PaperDataset::from_name(p.stats().name), Some(p));
         }
-        assert_eq!(PaperDataset::from_name("REAL-SIM"), Some(PaperDataset::RealSim));
+        assert_eq!(
+            PaperDataset::from_name("REAL-SIM"),
+            Some(PaperDataset::RealSim)
+        );
         assert_eq!(PaperDataset::from_name("imagenet"), None);
     }
 

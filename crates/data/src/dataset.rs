@@ -89,11 +89,7 @@ impl DenseDataset {
     /// # Panics
     /// Panics if row counts disagree.
     pub fn new(name: impl Into<String>, x: Matrix, labels: Labels) -> Self {
-        assert_eq!(
-            x.rows(),
-            labels.len(),
-            "feature rows != label rows"
-        );
+        assert_eq!(x.rows(), labels.len(), "feature rows != label rows");
         DenseDataset {
             x,
             labels,

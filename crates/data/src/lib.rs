@@ -27,6 +27,6 @@ pub mod libsvm;
 pub mod synth;
 
 pub use batch::{BatchScheduler, ShuffledScheduler};
-pub use catalog::{PaperDataset, DatasetStats};
+pub use catalog::{DatasetStats, PaperDataset};
 pub use dataset::{DenseDataset, Labels};
 pub use synth::SynthConfig;

@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "libsvm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "libsvm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -140,7 +144,10 @@ pub fn densify(
         }
     }
     // Contiguous class-id mapping.
-    let mut raw: Vec<i64> = examples.iter().flat_map(|e| e.labels.iter().copied()).collect();
+    let mut raw: Vec<i64> = examples
+        .iter()
+        .flat_map(|e| e.labels.iter().copied())
+        .collect();
     raw.sort_unstable();
     raw.dedup();
     let class_of = |l: i64| raw.binary_search(&l).expect("label seen during scan") as u32;

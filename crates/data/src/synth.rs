@@ -112,10 +112,10 @@ impl SynthConfig {
                 for i in 0..self.examples {
                     sum_center.iter_mut().for_each(|v| *v = 0.0);
                     let mut any = false;
-                    for c in 0..self.classes {
+                    for (c, center) in centers.iter().enumerate().take(self.classes) {
                         if rng.gen::<f32>() < p_label {
                             y.set(i, c, 1.0);
-                            for (s, v) in sum_center.iter_mut().zip(&centers[c]) {
+                            for (s, v) in sum_center.iter_mut().zip(center) {
                                 *s += v;
                             }
                             any = true;
@@ -134,13 +134,7 @@ impl SynthConfig {
         }
     }
 
-    fn fill_row(
-        &self,
-        rng: &mut StdRng,
-        noise: &Normal<f32>,
-        center: &[f32],
-        row: &mut [f32],
-    ) {
+    fn fill_row(&self, rng: &mut StdRng, noise: &Normal<f32>, center: &[f32], row: &mut [f32]) {
         if self.density >= 1.0 {
             for (r, c) in row.iter_mut().zip(center) {
                 *r = c + noise.sample(rng);
@@ -226,31 +220,35 @@ mod tests {
         };
         let mut means = vec![vec![0.0f32; 20]; 2];
         let mut counts = [0usize; 2];
-        for i in 0..d.len() {
-            let c = labels[i] as usize;
+        for (i, &label) in labels.iter().enumerate() {
+            let c = label as usize;
             counts[c] += 1;
             for (m, v) in means[c].iter_mut().zip(d.x.row(i)) {
                 *m += v;
             }
         }
         for c in 0..2 {
-            means[c].iter_mut().for_each(|m| *m /= counts[c].max(1) as f32);
+            means[c]
+                .iter_mut()
+                .for_each(|m| *m /= counts[c].max(1) as f32);
         }
         let mut correct = 0;
-        for i in 0..d.len() {
-            let dist = |m: &[f32]| -> f32 {
-                d.x.row(i)
-                    .iter()
-                    .zip(m)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum()
+        for (i, &label) in labels.iter().enumerate() {
+            let dist =
+                |m: &[f32]| -> f32 { d.x.row(i).iter().zip(m).map(|(a, b)| (a - b).powi(2)).sum() };
+            let pred = if dist(&means[0]) < dist(&means[1]) {
+                0
+            } else {
+                1
             };
-            let pred = if dist(&means[0]) < dist(&means[1]) { 0 } else { 1 };
-            if pred == labels[i] as usize {
+            if pred == label as usize {
                 correct += 1;
             }
         }
-        assert!(correct as f32 / d.len() as f32 > 0.9, "only {correct}/100 separable");
+        assert!(
+            correct as f32 / d.len() as f32 > 0.9,
+            "only {correct}/100 separable"
+        );
     }
 
     #[test]

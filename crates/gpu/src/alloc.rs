@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hetero_trace::GaugeHandle;
 use parking_lot::{Mutex, RwLock};
 
 /// Opaque handle to a device buffer.
@@ -49,11 +50,19 @@ struct Inner {
 pub struct DeviceMemory {
     capacity: u64,
     inner: Mutex<Inner>,
+    /// Live bytes-in-use gauge (disabled unless tracing is attached).
+    bytes_gauge: GaugeHandle,
 }
 
 impl DeviceMemory {
     /// Pool with `capacity` bytes of global memory.
     pub fn new(capacity: u64) -> Self {
+        Self::with_gauge(capacity, GaugeHandle::disabled())
+    }
+
+    /// Pool that mirrors its bytes-in-use into `bytes_gauge` on every
+    /// allocation and free, so a trace snapshot always sees current usage.
+    pub fn with_gauge(capacity: u64, bytes_gauge: GaugeHandle) -> Self {
         DeviceMemory {
             capacity,
             inner: Mutex::new(Inner {
@@ -62,6 +71,7 @@ impl DeviceMemory {
                 peak: 0,
                 next_id: 1,
             }),
+            bytes_gauge,
         }
     }
 
@@ -80,6 +90,7 @@ impl DeviceMemory {
         inner.next_id += 1;
         inner.used += bytes;
         inner.peak = inner.peak.max(inner.used);
+        self.bytes_gauge.set(inner.used as f64);
         inner
             .buffers
             .insert(id, Arc::new(RwLock::new(vec![0.0; len])));
@@ -92,6 +103,7 @@ impl DeviceMemory {
         match inner.buffers.remove(&id.0) {
             Some(buf) => {
                 inner.used -= 4 * buf.read().len() as u64;
+                self.bytes_gauge.set(inner.used as f64);
                 Ok(())
             }
             None => Err(format!("free of unknown buffer {:?}", id)),

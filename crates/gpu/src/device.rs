@@ -1,9 +1,29 @@
 //! The GPU device facade: memory + transfers + virtual-time accounting.
 
 use hetero_sim::{DeviceModel, GpuModel};
+use hetero_trace::{EventKind, GaugeHandle, TraceSink};
 use parking_lot::Mutex;
 
 use crate::alloc::{BufferId, DeviceMemory, OomError};
+
+/// Pre-resolved tracing state for one device.
+struct GpuTrace {
+    sink: TraceSink,
+    /// Worker id stamped on emitted transfer/kernel events.
+    worker: u32,
+    /// Cumulative synchronization-stall seconds.
+    stall_secs: GaugeHandle,
+}
+
+impl GpuTrace {
+    fn disabled() -> Self {
+        GpuTrace {
+            sink: TraceSink::disabled(),
+            worker: 0,
+            stall_secs: GaugeHandle::disabled(),
+        }
+    }
+}
 
 /// Cumulative transfer statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -29,6 +49,7 @@ pub struct GpuDevice {
     perf: GpuModel,
     busy: Mutex<f64>,
     transfers: Mutex<TransferStats>,
+    trace: GpuTrace,
 }
 
 impl GpuDevice {
@@ -40,12 +61,69 @@ impl GpuDevice {
             perf,
             busy: Mutex::new(0.0),
             transfers: Mutex::new(TransferStats::default()),
+            trace: GpuTrace::disabled(),
+        }
+    }
+
+    /// Create a device whose transfers, kernels, stalls, and memory usage
+    /// are observable through `sink`. Events are stamped with `worker`.
+    pub fn new_traced(perf: GpuModel, sink: &TraceSink, worker: u32) -> Self {
+        let trace = if sink.enabled() {
+            GpuTrace {
+                sink: sink.clone(),
+                worker,
+                stall_secs: sink.gauge(&format!("gpu.w{worker}.stall_secs")),
+            }
+        } else {
+            GpuTrace::disabled()
+        };
+        GpuDevice {
+            mem: DeviceMemory::with_gauge(
+                perf.memory,
+                if sink.enabled() {
+                    sink.gauge(&format!("gpu.w{worker}.mem_used_bytes"))
+                } else {
+                    GaugeHandle::disabled()
+                },
+            ),
+            perf,
+            busy: Mutex::new(0.0),
+            transfers: Mutex::new(TransferStats::default()),
+            trace,
         }
     }
 
     /// A V100-modeled device (the paper's hardware).
     pub fn v100() -> Self {
         Self::new(GpuModel::v100())
+    }
+
+    /// A traced V100-modeled device (see [`GpuDevice::new_traced`]).
+    pub fn v100_traced(sink: &TraceSink, worker: u32) -> Self {
+        Self::new_traced(GpuModel::v100(), sink, worker)
+    }
+
+    /// The sink this device reports to (disabled unless built with
+    /// [`GpuDevice::new_traced`]).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace.sink
+    }
+
+    /// Worker id stamped on this device's trace events.
+    pub fn trace_worker(&self) -> u32 {
+        self.trace.worker
+    }
+
+    /// Emit a [`EventKind::KernelLaunched`] marker if tracing is live.
+    pub fn note_kernel(&self, name: &'static str) {
+        if self.trace.sink.enabled() {
+            self.trace.sink.emit(
+                self.trace.worker,
+                EventKind::KernelLaunched {
+                    name: name.to_string(),
+                },
+            );
+        }
     }
 
     /// The device memory pool.
@@ -77,7 +155,17 @@ impl GpuDevice {
         t.h2d_bytes += bytes;
         t.h2d_count += 1;
         drop(t);
-        *self.busy.lock() += self.perf.transfer_time(bytes);
+        let secs = self.perf.transfer_time(bytes);
+        *self.busy.lock() += secs;
+        if self.trace.sink.enabled() {
+            self.trace.sink.emit(
+                self.trace.worker,
+                EventKind::H2d {
+                    bytes: bytes as usize,
+                    secs,
+                },
+            );
+        }
     }
 
     /// Copy a device buffer back to the host, accounting transfer time.
@@ -89,7 +177,17 @@ impl GpuDevice {
         t.d2h_bytes += bytes;
         t.d2h_count += 1;
         drop(t);
-        *self.busy.lock() += self.perf.transfer_time(bytes);
+        let secs = self.perf.transfer_time(bytes);
+        *self.busy.lock() += secs;
+        if self.trace.sink.enabled() {
+            self.trace.sink.emit(
+                self.trace.worker,
+                EventKind::D2h {
+                    bytes: bytes as usize,
+                    secs,
+                },
+            );
+        }
         data
     }
 
@@ -99,10 +197,13 @@ impl GpuDevice {
         *self.busy.lock() += self.perf.batch_time(flops_per_example, batch);
     }
 
-    /// Add raw virtual seconds (e.g. for synchronization stalls).
+    /// Add raw virtual seconds (e.g. for synchronization stalls). Stall
+    /// time also accumulates on the `gpu.w<id>.stall_secs` gauge when
+    /// tracing is attached.
     pub fn account_seconds(&self, secs: f64) {
         assert!(secs >= 0.0 && secs.is_finite());
         *self.busy.lock() += secs;
+        self.trace.stall_secs.add(secs);
     }
 
     /// Total virtual busy seconds accumulated so far.
@@ -159,6 +260,45 @@ mod tests {
         dev.account_step(1_000_000, 1024);
         let expect = dev.perf().batch_time(1_000_000, 1024);
         assert!((dev.virtual_time() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_device_emits_transfer_events_and_gauges() {
+        let sink = hetero_trace::TraceSink::wall(256);
+        let dev = GpuDevice::v100_traced(&sink, 2);
+        let buf = dev.h2d(&vec![1.0f32; 256]).unwrap();
+        let _ = dev.d2h(buf);
+        dev.account_seconds(0.25);
+        dev.note_kernel("unit_test_kernel");
+        let trace = sink.drain();
+        let mut h2d = 0;
+        let mut d2h = 0;
+        let mut kernels = 0;
+        for e in trace.events_sorted() {
+            assert_eq!(e.worker, 2);
+            match e.kind {
+                hetero_trace::EventKind::H2d { bytes, secs } => {
+                    assert_eq!(bytes, 1024);
+                    assert!(secs > 0.0);
+                    h2d += 1;
+                }
+                hetero_trace::EventKind::D2h { bytes, .. } => {
+                    assert_eq!(bytes, 1024);
+                    d2h += 1;
+                }
+                hetero_trace::EventKind::KernelLaunched { ref name } => {
+                    assert_eq!(name, "unit_test_kernel");
+                    kernels += 1;
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!((h2d, d2h, kernels), (1, 1, 1));
+        let counters: std::collections::HashMap<String, f64> =
+            trace.counters.iter().cloned().collect();
+        // Buffer still live: gauge mirrors bytes in use.
+        assert_eq!(counters.get("gpu.w2.mem_used_bytes"), Some(&1024.0));
+        assert_eq!(counters.get("gpu.w2.stall_secs"), Some(&0.25));
     }
 
     #[test]

@@ -10,7 +10,15 @@ use hetero_tensor::{gemm, ops, Matrix};
 use crate::alloc::{BufferId, DeviceMemory};
 
 /// `C ← A·Bᵀ` where A is `m×k` and B is `n×k` (forward layer product).
-pub fn gemm_nt(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, m: usize, k: usize, n: usize) {
+pub fn gemm_nt(
+    mem: &DeviceMemory,
+    a: BufferId,
+    b: BufferId,
+    c: BufferId,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
     let (ar, br) = (ah.read(), bh.read());
     let mut cw = ch.write();
@@ -25,7 +33,15 @@ pub fn gemm_nt(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, m: usi
 }
 
 /// `C ← Aᵀ·B` where A is `k×m` and B is `k×n` (weight gradient).
-pub fn gemm_tn(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, k: usize, m: usize, n: usize) {
+pub fn gemm_tn(
+    mem: &DeviceMemory,
+    a: BufferId,
+    b: BufferId,
+    c: BufferId,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
     let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
     let (ar, br) = (ah.read(), bh.read());
     let mut cw = ch.write();
@@ -40,7 +56,15 @@ pub fn gemm_tn(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, k: usi
 }
 
 /// `C ← A·B` where A is `m×k` and B is `k×n` (delta backprop).
-pub fn gemm_nn(mem: &DeviceMemory, a: BufferId, b: BufferId, c: BufferId, m: usize, k: usize, n: usize) {
+pub fn gemm_nn(
+    mem: &DeviceMemory,
+    a: BufferId,
+    b: BufferId,
+    c: BufferId,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let (ah, bh, ch) = (mem.get(a), mem.get(b), mem.get(c));
     let (ar, br) = (ah.read(), bh.read());
     let mut cw = ch.write();

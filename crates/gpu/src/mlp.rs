@@ -76,7 +76,11 @@ impl<'d> GpuMlp<'d> {
     /// round of local steps).
     pub fn refresh(&self, model: &Model) {
         assert_eq!(model.spec(), &self.spec, "replica spec mismatch");
-        for (layer, (w, b)) in model.layers().iter().zip(self.weights.iter().zip(&self.biases)) {
+        for (layer, (w, b)) in model
+            .layers()
+            .iter()
+            .zip(self.weights.iter().zip(&self.biases))
+        {
             self.device.h2d_into(layer.w.as_slice(), *w);
             self.device.h2d_into(&layer.b, *b);
         }
@@ -105,6 +109,7 @@ impl<'d> GpuMlp<'d> {
         let x_buf = dev.h2d(x.as_slice())?;
 
         // --- Forward: activations stay on device.
+        dev.note_kernel("forward");
         let mut acts: Vec<BufferId> = Vec::with_capacity(n_layers);
         let cleanup = |dev: &GpuDevice, acts: &[BufferId], x_buf: BufferId| {
             for &a in acts {
@@ -121,13 +126,19 @@ impl<'d> GpuMlp<'d> {
                 }
             };
             let input = if l == 0 { x_buf } else { acts[l - 1] };
-            kernels::gemm_nt(dev.mem(), input, self.weights[l], act, batch, in_dim, out_dim);
+            kernels::gemm_nt(
+                dev.mem(),
+                input,
+                self.weights[l],
+                act,
+                batch,
+                in_dim,
+                out_dim,
+            );
             kernels::add_bias(dev.mem(), act, self.biases[l], out_dim);
             if l + 1 == n_layers {
                 match self.spec.loss {
-                    LossKind::SoftmaxCrossEntropy => {
-                        kernels::softmax_rows(dev.mem(), act, out_dim)
-                    }
+                    LossKind::SoftmaxCrossEntropy => kernels::softmax_rows(dev.mem(), act, out_dim),
                     LossKind::MultiLabelBce => kernels::sigmoid(dev.mem(), act),
                 }
             } else {
@@ -165,11 +176,20 @@ impl<'d> GpuMlp<'d> {
         };
 
         // --- Backward + update, layer by layer.
+        dev.note_kernel("backward");
         for l in (0..n_layers).rev() {
             let (in_dim, out_dim) = dims[l];
             let input = if l == 0 { x_buf } else { acts[l - 1] };
             // ∇W = δᵀ·input, ∇b = colsum(δ)
-            kernels::gemm_tn(dev.mem(), delta, input, self.grad_w[l], batch, out_dim, in_dim);
+            kernels::gemm_tn(
+                dev.mem(),
+                delta,
+                input,
+                self.grad_w[l],
+                batch,
+                out_dim,
+                in_dim,
+            );
             kernels::col_sum(dev.mem(), delta, self.grad_b[l], out_dim);
             if l > 0 {
                 let prev = match dev.mem().alloc(batch * in_dim) {
@@ -180,7 +200,15 @@ impl<'d> GpuMlp<'d> {
                         return Err(e);
                     }
                 };
-                kernels::gemm_nn(dev.mem(), delta, self.weights[l], prev, batch, out_dim, in_dim);
+                kernels::gemm_nn(
+                    dev.mem(),
+                    delta,
+                    self.weights[l],
+                    prev,
+                    batch,
+                    out_dim,
+                    in_dim,
+                );
                 kernels::sigmoid_backward(dev.mem(), acts[l - 1], prev);
                 let _ = dev.mem().free(delta);
                 delta = prev;
@@ -248,7 +276,10 @@ mod tests {
             hetero_nn::loss_and_gradient(&host, &x, Targets::Classes(&y), false);
         host.apply_gradient(&grad, 0.1);
 
-        assert!((gpu_loss - host_loss).abs() < 1e-5, "{gpu_loss} vs {host_loss}");
+        assert!(
+            (gpu_loss - host_loss).abs() < 1e-5,
+            "{gpu_loss} vs {host_loss}"
+        );
         let downloaded = gpu.download();
         let (a, b) = (downloaded.flatten(), host.flatten());
         for (u, v) in a.iter().zip(&b) {

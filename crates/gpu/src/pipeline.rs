@@ -30,18 +30,29 @@ pub struct BatchPipeline<'d> {
     /// Virtual time saved by overlap so far (seconds).
     overlap_saved: f64,
     batches_run: u64,
+    /// Mirrors `overlap_saved` into the trace registry when live.
+    overlap_gauge: hetero_trace::GaugeHandle,
 }
 
 impl<'d> BatchPipeline<'d> {
-    /// New pipeline on `device`.
+    /// New pipeline on `device`. Inherits the device's trace sink: the copy
+    /// and compute streams report their stalls, and the cumulative overlap
+    /// saving is published as `gpu.w<id>.overlap_saved_secs`.
     pub fn new(device: &'d GpuDevice) -> Self {
+        let sink = device.trace_sink();
+        let worker = device.trace_worker();
         BatchPipeline {
             device,
-            copy_stream: Stream::new("copy"),
-            compute_stream: Stream::new("compute"),
+            copy_stream: Stream::new_traced("copy", sink, worker),
+            compute_stream: Stream::new_traced("compute", sink, worker),
             staging: [None, None],
             overlap_saved: 0.0,
             batches_run: 0,
+            overlap_gauge: if sink.enabled() {
+                sink.gauge(&format!("gpu.w{worker}.overlap_saved_secs"))
+            } else {
+                hetero_trace::GaugeHandle::disabled()
+            },
         }
     }
 
@@ -91,13 +102,14 @@ impl<'d> BatchPipeline<'d> {
             if iter.peek().is_some() {
                 let bytes = (4 * x.len()) as u64;
                 let transfer = self.device.perf().transfer_time(bytes);
-                let compute = self.device.perf().batch_time(
-                    mlp.spec().train_flops_per_example(),
-                    x.rows(),
-                );
+                let compute = self
+                    .device
+                    .perf()
+                    .batch_time(mlp.spec().train_flops_per_example(), x.rows());
                 // The saving is tracked on a separate ledger rather than
                 // subtracted from the device's monotone busy clock.
                 self.overlap_saved += transfer.min(compute);
+                self.overlap_gauge.set(self.overlap_saved);
             }
             slot = next_slot;
         }
@@ -127,7 +139,7 @@ impl<'d> BatchPipeline<'d> {
         // use the stream event purely for ordering semantics. The transfer
         // cost is accounted by h2d_into either way.
         dev.h2d_into(&data, buf);
-        self.copy_stream.launch(move || {
+        self.copy_stream.launch_named("stage_upload", move || {
             // Ordering marker: completion of this task = upload visible.
         });
         Ok(buf)
@@ -182,7 +194,8 @@ mod tests {
         let losses = pipe
             .run(
                 &mut mlp,
-                data.iter().map(|(x, y)| (x, Targets::Classes(y.as_slice()))),
+                data.iter()
+                    .map(|(x, y)| (x, Targets::Classes(y.as_slice()))),
                 0.1,
             )
             .unwrap();
@@ -209,7 +222,8 @@ mod tests {
         let piped = pipe
             .run(
                 &mut m1,
-                data.iter().map(|(x, y)| (x, Targets::Classes(y.as_slice()))),
+                data.iter()
+                    .map(|(x, y)| (x, Targets::Classes(y.as_slice()))),
                 0.2,
             )
             .unwrap();

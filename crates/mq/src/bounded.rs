@@ -182,7 +182,12 @@ impl<T: Send> BoundedReceiver<T> {
             if self.shared.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            if self.shared.not_empty.wait_until(&mut q, deadline).timed_out() {
+            if self
+                .shared
+                .not_empty
+                .wait_until(&mut q, deadline)
+                .timed_out()
+            {
                 return match q.pop_front() {
                     Some(v) => {
                         drop(q);
@@ -285,7 +290,7 @@ mod tests {
             .collect();
         drop(tx);
         let mut count = 0;
-        while let Ok(_) = rx.recv() {
+        while rx.recv().is_ok() {
             count += 1;
         }
         for p in producers {

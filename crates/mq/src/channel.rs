@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use hetero_trace::{CounterHandle, EventKind, GaugeHandle, TraceSink};
 use parking_lot::{Condvar, Mutex};
 
 use crate::queue::MpscQueue;
@@ -57,6 +58,40 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// Pre-resolved tracing state for one channel. Handles are resolved at
+/// construction so the hot path touches only atomics; with a disabled sink
+/// every call reduces to an `Option` branch.
+struct ChannelTrace {
+    sink: TraceSink,
+    /// Worker/queue id stamped on emitted events for attribution.
+    id: u32,
+    pushes: CounterHandle,
+    pops: CounterHandle,
+    depth_hwm: GaugeHandle,
+}
+
+impl ChannelTrace {
+    fn disabled() -> Self {
+        ChannelTrace {
+            sink: TraceSink::disabled(),
+            id: 0,
+            pushes: CounterHandle::disabled(),
+            pops: CounterHandle::disabled(),
+            depth_hwm: GaugeHandle::disabled(),
+        }
+    }
+
+    fn new(sink: &TraceSink, name: &str, id: u32) -> Self {
+        ChannelTrace {
+            sink: sink.clone(),
+            id,
+            pushes: sink.counter(&format!("mq.{name}.pushes")),
+            pops: sink.counter(&format!("mq.{name}.pops")),
+            depth_hwm: sink.gauge(&format!("mq.{name}.depth_hwm")),
+        }
+    }
+}
+
 struct Shared<T> {
     queue: MpscQueue<T>,
     senders: AtomicUsize,
@@ -64,6 +99,7 @@ struct Shared<T> {
     /// Guards nothing but the sleep/wake protocol.
     sleep_lock: Mutex<()>,
     wakeup: Condvar,
+    trace: ChannelTrace,
 }
 
 /// Sending half; cheap to clone (one per worker thread).
@@ -78,12 +114,36 @@ pub struct Receiver<T> {
 
 /// Create an unbounded MPSC channel.
 pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    channel_with_trace(ChannelTrace::disabled())
+}
+
+/// Create an unbounded MPSC channel whose pushes and pops are observable
+/// through `sink`.
+///
+/// Every successful send emits [`EventKind::QueuePushed`] and every
+/// successful receive emits [`EventKind::QueuePopped`], each carrying the
+/// post-operation approximate depth; the channel also maintains
+/// `mq.<name>.pushes` / `mq.<name>.pops` counters and an
+/// `mq.<name>.depth_hwm` high-water-mark gauge. Events are stamped with
+/// `id` as the worker field. With a disabled sink this is exactly
+/// [`channel`].
+pub fn channel_traced<T: Send>(sink: &TraceSink, name: &str, id: u32) -> (Sender<T>, Receiver<T>) {
+    let trace = if sink.enabled() {
+        ChannelTrace::new(sink, name, id)
+    } else {
+        ChannelTrace::disabled()
+    };
+    channel_with_trace(trace)
+}
+
+fn channel_with_trace<T: Send>(trace: ChannelTrace) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue: MpscQueue::new(),
         senders: AtomicUsize::new(1),
         receiver_alive: AtomicBool::new(true),
         sleep_lock: Mutex::new(()),
         wakeup: Condvar::new(),
+        trace,
     });
     (
         Sender {
@@ -100,6 +160,15 @@ impl<T: Send> Sender<T> {
             return Err(SendError(value));
         }
         self.shared.queue.push(value);
+        if self.shared.trace.sink.enabled() {
+            let depth = self.shared.queue.len();
+            self.shared
+                .trace
+                .sink
+                .emit(self.shared.trace.id, EventKind::QueuePushed { depth });
+            self.shared.trace.pushes.add(1);
+            self.shared.trace.depth_hwm.fetch_max(depth as f64);
+        }
         // Wake a parked receiver. Taking the lock orders this notify after
         // the receiver's "queue is empty" check, closing the lost-wakeup race.
         let _guard = self.shared.sleep_lock.lock();
@@ -110,6 +179,16 @@ impl<T: Send> Sender<T> {
     /// Number of live senders (including this one).
     pub fn sender_count(&self) -> usize {
         self.shared.senders.load(Ordering::Relaxed)
+    }
+
+    /// Approximate number of queued messages (see [`MpscQueue::len`]).
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Whether the queue is currently observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
     }
 }
 
@@ -133,16 +212,34 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T: Send> Receiver<T> {
+    /// Record a successful pop on the trace, if tracing is live.
+    fn note_pop(&self) {
+        if self.shared.trace.sink.enabled() {
+            let depth = self.shared.queue.len();
+            self.shared
+                .trace
+                .sink
+                .emit(self.shared.trace.id, EventKind::QueuePopped { depth });
+            self.shared.trace.pops.add(1);
+        }
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         match self.shared.queue.pop_spin() {
-            Some(v) => Ok(v),
+            Some(v) => {
+                self.note_pop();
+                Ok(v)
+            }
             None => {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     // Re-check: a message may have been pushed before the
                     // last sender dropped.
                     match self.shared.queue.pop_spin() {
-                        Some(v) => Ok(v),
+                        Some(v) => {
+                            self.note_pop();
+                            Ok(v)
+                        }
                         None => Err(TryRecvError::Disconnected),
                     }
                 } else {
@@ -150,6 +247,16 @@ impl<T: Send> Receiver<T> {
                 }
             }
         }
+    }
+
+    /// Approximate number of queued messages (see [`MpscQueue::len`]).
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Whether the queue is currently observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
     }
 
     /// Blocking receive; returns `Err(RecvError)` only after every sender
@@ -362,6 +469,95 @@ mod tests {
         }
         assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
         assert!(rx.drain().is_empty());
+    }
+
+    #[test]
+    fn len_is_exact_when_quiescent() {
+        let (tx, rx) = channel();
+        assert_eq!(tx.len(), 0);
+        for i in 0..7 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 7);
+        assert_eq!(rx.len(), 7);
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.len(), 6);
+        rx.drain();
+        assert_eq!(rx.len(), 0);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn traced_channel_emits_depth_events_and_counters() {
+        let sink = hetero_trace::TraceSink::wall(1024);
+        let (tx, rx) = channel_traced::<usize>(&sink, "coord_inbox", 3);
+        let senders = 4;
+        let per = 500usize;
+        let handles: Vec<_> = (0..senders)
+            .map(|_| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut received = 0usize;
+        while rx.recv().is_ok() {
+            received += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(received, senders * per);
+        assert_eq!(rx.len(), 0);
+
+        let trace = sink.drain();
+        let mut pushed = 0usize;
+        let mut popped = 0usize;
+        for event in trace.events_sorted() {
+            match event.kind {
+                hetero_trace::EventKind::QueuePushed { depth } => {
+                    assert_eq!(event.worker, 3);
+                    assert!(depth <= senders * per);
+                    pushed += 1;
+                }
+                hetero_trace::EventKind::QueuePopped { .. } => {
+                    assert_eq!(event.worker, 3);
+                    popped += 1;
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Events can be shed by the bounded rings, but counters are exact.
+        assert!(pushed + (trace.total_dropped() as usize) >= popped);
+        let counters: std::collections::HashMap<String, f64> =
+            trace.counters.iter().cloned().collect();
+        assert_eq!(
+            counters.get("mq.coord_inbox.pushes"),
+            Some(&((senders * per) as f64))
+        );
+        assert_eq!(
+            counters.get("mq.coord_inbox.pops"),
+            Some(&((senders * per) as f64))
+        );
+        assert!(
+            counters
+                .get("mq.coord_inbox.depth_hwm")
+                .copied()
+                .unwrap_or(0.0)
+                >= 1.0
+        );
+    }
+
+    #[test]
+    fn untraced_channel_has_disabled_sink() {
+        let (tx, rx) = channel::<u8>();
+        assert!(!tx.shared.trace.sink.enabled());
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
     }
 
     #[test]

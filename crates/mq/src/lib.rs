@@ -31,6 +31,6 @@ pub mod queue;
 
 pub use bounded::{bounded, BoundedReceiver, BoundedSender};
 pub use channel::{
-    channel, RecvError, RecvTimeoutError, Receiver, SendError, Sender, TryRecvError,
+    channel, channel_traced, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
 };
 pub use queue::MpscQueue;

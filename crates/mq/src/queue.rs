@@ -12,7 +12,7 @@
 //! `T: Send` since payloads cross threads.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
@@ -49,6 +49,12 @@ pub struct MpscQueue<T> {
     tail: AtomicPtr<Node<T>>,
     /// Consumer-owned; only ever touched by the single consumer.
     head: AtomicPtr<Node<T>>,
+    /// Approximate element count: incremented *before* the tail swap
+    /// publishes a node, decremented after a successful pop. Ordering the
+    /// increment first means `len()` may transiently over-report an
+    /// in-flight push but can never underflow, which is the safe direction
+    /// for a monitoring signal.
+    depth: AtomicUsize,
 }
 
 unsafe impl<T: Send> Send for MpscQueue<T> {}
@@ -61,11 +67,13 @@ impl<T> MpscQueue<T> {
         MpscQueue {
             tail: AtomicPtr::new(stub),
             head: AtomicPtr::new(stub),
+            depth: AtomicUsize::new(0),
         }
     }
 
     /// Enqueue a value. Safe to call from any number of threads concurrently.
     pub fn push(&self, value: T) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
         let node = Node::new(Some(value));
         // Swap ourselves in as the new tail; Release publishes the node's
         // payload to whoever later observes the pointer.
@@ -92,6 +100,7 @@ impl<T> MpscQueue<T> {
                 self.head.store(next, Ordering::Relaxed);
                 let value = (*next).value.take().expect("non-stub node has a value");
                 drop(Box::from_raw(head));
+                self.depth.fetch_sub(1, Ordering::Relaxed);
                 return Pop::Data(value);
             }
             if self.tail.load(Ordering::Acquire) == head {
@@ -114,6 +123,13 @@ impl<T> MpscQueue<T> {
                 Pop::Inconsistent => std::hint::spin_loop(),
             }
         }
+    }
+
+    /// Approximate element count (exact only when quiescent). May briefly
+    /// over-report a push that has bumped the counter but not yet linked
+    /// its node; never underflows.
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Best-effort emptiness check (exact only when quiescent).
@@ -239,6 +255,44 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(sum, producers * (per * (per - 1) / 2));
+    }
+
+    #[test]
+    fn len_tracks_depth_under_concurrent_producers() {
+        let q = Arc::new(MpscQueue::new());
+        let producers = 4;
+        let per = 2000usize;
+        let handles: Vec<_> = (0..producers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        q.push(i);
+                    }
+                })
+            })
+            .collect();
+        // While producers run, len() must stay within [0, total in flight].
+        let total = producers * per;
+        let mut popped = 0usize;
+        while popped < total / 2 {
+            if q.pop_spin().is_some() {
+                popped += 1;
+            }
+            let len = q.len();
+            assert!(len <= total, "len {len} exceeds total pushes {total}");
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Quiescent: len is exact.
+        assert_eq!(q.len(), total - popped);
+        while q.pop_spin().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, total);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -107,5 +107,8 @@ fn channel_high_contention_torture() {
         h.join().unwrap();
     }
     assert_eq!(n, producers * per);
-    assert_eq!(sum, (producers as u64) * (per as u64) * (per as u64 - 1) / 2);
+    assert_eq!(
+        sum,
+        (producers as u64) * (per as u64) * (per as u64 - 1) / 2
+    );
 }

@@ -193,21 +193,33 @@ mod tests {
     #[test]
     fn loss_perfect_prediction_near_zero() {
         let probs = Matrix::from_rows(&[&[1.0 - 1e-7, 1e-7], &[1e-7, 1.0 - 1e-7]]);
-        let l = loss(&probs, Targets::Classes(&[0, 1]), LossKind::SoftmaxCrossEntropy);
+        let l = loss(
+            &probs,
+            Targets::Classes(&[0, 1]),
+            LossKind::SoftmaxCrossEntropy,
+        );
         assert!(l < 1e-5, "loss {l}");
     }
 
     #[test]
     fn loss_uniform_prediction_is_log_classes() {
         let probs = Matrix::full(4, 2, 0.5);
-        let l = loss(&probs, Targets::Classes(&[0, 1, 0, 1]), LossKind::SoftmaxCrossEntropy);
+        let l = loss(
+            &probs,
+            Targets::Classes(&[0, 1, 0, 1]),
+            LossKind::SoftmaxCrossEntropy,
+        );
         assert!((l - (2.0f32).ln()).abs() < 1e-5);
     }
 
     #[test]
     fn loss_handles_zero_probability_without_inf() {
         let probs = Matrix::from_rows(&[&[0.0, 1.0]]);
-        let l = loss(&probs, Targets::Classes(&[0]), LossKind::SoftmaxCrossEntropy);
+        let l = loss(
+            &probs,
+            Targets::Classes(&[0]),
+            LossKind::SoftmaxCrossEntropy,
+        );
         assert!(l.is_finite() && l > 10.0);
     }
 

@@ -94,8 +94,16 @@ impl Optimizer {
         );
         Optimizer {
             kind,
-            m: if needs_m { vec![0.0; num_params] } else { Vec::new() },
-            v: if needs_v { vec![0.0; num_params] } else { Vec::new() },
+            m: if needs_m {
+                vec![0.0; num_params]
+            } else {
+                Vec::new()
+            },
+            v: if needs_v {
+                vec![0.0; num_params]
+            } else {
+                Vec::new()
+            },
             t: 0,
         }
     }
@@ -266,7 +274,10 @@ mod tests {
         let step1 = -m.layers()[0].w.get(0, 0);
         opt.step(&mut m, &g, 0.1);
         let step2 = -m.layers()[0].w.get(0, 0) - step1;
-        assert!(step2 < step1, "adagrad steps must shrink: {step1} then {step2}");
+        assert!(
+            step2 < step1,
+            "adagrad steps must shrink: {step1} then {step2}"
+        );
     }
 
     #[test]

@@ -144,7 +144,7 @@ mod tests {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            if state % 5 == 0 {
+            if state.is_multiple_of(5) {
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             } else {
                 0.0
@@ -190,8 +190,7 @@ mod tests {
         let (first, _) = loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
         let mut last = first;
         for _ in 0..60 {
-            let (l, g) =
-                loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
+            let (l, g) = loss_and_gradient_sparse(&model, &csr, Targets::Classes(&labels), false);
             model.apply_gradient(&g, 0.8);
             last = l;
         }

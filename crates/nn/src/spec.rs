@@ -73,10 +73,7 @@ impl MlpSpec {
 
     /// Total trainable parameters (weights + biases).
     pub fn num_params(&self) -> usize {
-        self.layer_dims()
-            .iter()
-            .map(|&(i, o)| i * o + o)
-            .sum()
+        self.layer_dims().iter().map(|&(i, o)| i * o + o).sum()
     }
 
     /// FLOPs for one example's forward pass (2·in·out per layer, the
@@ -109,7 +106,7 @@ impl MlpSpec {
         if self.classes == 0 {
             return Err("classes must be positive".into());
         }
-        if self.hidden.iter().any(|&h| h == 0) {
+        if self.hidden.contains(&0) {
             return Err("hidden layer widths must be positive".into());
         }
         Ok(())

@@ -1,22 +1,25 @@
 //! Property-based tests on the network's mathematical invariants.
 
 use hetero_nn::{
-    backward, forward, loss, loss_and_gradient, Activation, InitScheme, LossKind, MlpSpec,
-    Model, SharedModel, Targets,
+    backward, forward, loss, loss_and_gradient, Activation, InitScheme, LossKind, MlpSpec, Model,
+    SharedModel, Targets,
 };
 use hetero_tensor::Matrix;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = MlpSpec> {
-    (1usize..6, prop::collection::vec(1usize..10, 0..3), 2usize..5).prop_map(
-        |(input, hidden, classes)| MlpSpec {
+    (
+        1usize..6,
+        prop::collection::vec(1usize..10, 0..3),
+        2usize..5,
+    )
+        .prop_map(|(input, hidden, classes)| MlpSpec {
             input_dim: input,
             hidden,
             classes,
             activation: Activation::Sigmoid,
             loss: LossKind::SoftmaxCrossEntropy,
-        },
-    )
+        })
 }
 
 fn arb_batch(spec: &MlpSpec, rows: usize, seed: u64) -> (Matrix, Vec<u32>) {

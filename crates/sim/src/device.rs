@@ -218,8 +218,19 @@ mod tests {
 
     /// covtype network (§VII-A): d=54, 6 hidden × 512, 2 classes.
     fn covtype_flops_per_example() -> u64 {
-        let dims = [(54usize, 512usize), (512, 512), (512, 512), (512, 512), (512, 512), (512, 512), (512, 2)];
-        3 * dims.iter().map(|&(i, o)| 2 * (i as u64) * (o as u64)).sum::<u64>()
+        let dims = [
+            (54usize, 512usize),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+            (512, 2),
+        ];
+        3 * dims
+            .iter()
+            .map(|&(i, o)| 2 * (i as u64) * (o as u64))
+            .sum::<u64>()
     }
 
     #[test]
@@ -252,8 +263,8 @@ mod tests {
         let gpu_batch = 8192usize;
         let batches = n.div_ceil(gpu_batch);
         let batch_bytes = (gpu_batch * 54 * 4) as u64;
-        let gpu_epoch = batches as f64
-            * (gpu.batch_time(fpe, gpu_batch) + gpu.transfer_time(batch_bytes));
+        let gpu_epoch =
+            batches as f64 * (gpu.batch_time(fpe, gpu_batch) + gpu.transfer_time(batch_bytes));
 
         // CPU Hogwild: 1 example per thread per batch → batch = 56.
         let cpu_batch = cpu.threads;

@@ -31,4 +31,4 @@ pub mod timeline;
 
 pub use device::{CpuModel, DeviceModel, GpuModel};
 pub use events::{EventQueue, SimTime};
-pub use timeline::UtilizationTimeline;
+pub use timeline::{RecordError, UtilizationTimeline};

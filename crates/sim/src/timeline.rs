@@ -19,6 +19,43 @@ pub struct Segment {
     pub level: f64,
 }
 
+/// Why [`UtilizationTimeline::try_record`] rejected an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordError {
+    /// `end < start`.
+    Inverted {
+        /// Rejected interval start.
+        start: SimTime,
+        /// Rejected interval end.
+        end: SimTime,
+    },
+    /// Level outside `[0, 1]`.
+    BadLevel(f64),
+    /// Interval starts before the previous segment ends.
+    Overlap {
+        /// Rejected interval start.
+        start: SimTime,
+        /// End of the already-recorded segment it overlaps.
+        prev_end: SimTime,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Inverted { start, end } => {
+                write!(f, "inverted interval [{start}, {end})")
+            }
+            RecordError::BadLevel(level) => write!(f, "level {level} outside [0,1]"),
+            RecordError::Overlap { start, prev_end } => {
+                write!(f, "overlapping busy intervals ({start} < {prev_end})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
 /// Append-only record of a device's busy intervals.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct UtilizationTimeline {
@@ -36,19 +73,45 @@ impl UtilizationTimeline {
     /// # Panics
     /// Panics on inverted intervals, levels outside `[0, 1]`, or intervals
     /// that start before the previous one ends (a device is sequential).
+    /// Engine paths that must not crash on clock skew use
+    /// [`UtilizationTimeline::try_record`] instead.
     pub fn record(&mut self, start: SimTime, end: SimTime, level: f64) {
-        assert!(end >= start, "inverted interval");
-        assert!((0.0..=1.0).contains(&level), "level {level} outside [0,1]");
+        if let Err(e) = self.try_record(start, end, level) {
+            panic!("{e}");
+        }
+    }
+
+    /// Record a busy interval, rejecting malformed input instead of
+    /// panicking.
+    ///
+    /// Returns `Err` (and leaves the timeline unchanged) on inverted
+    /// intervals, levels outside `[0, 1]`, or intervals that start before
+    /// the previous one ends. Zero-length intervals are accepted and
+    /// ignored, as in [`UtilizationTimeline::record`].
+    pub fn try_record(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        level: f64,
+    ) -> Result<(), RecordError> {
+        if end < start {
+            return Err(RecordError::Inverted { start, end });
+        }
+        if !(0.0..=1.0).contains(&level) {
+            return Err(RecordError::BadLevel(level));
+        }
         if let Some(last) = self.segments.last() {
-            assert!(
-                start >= last.end - 1e-12,
-                "overlapping busy intervals ({start} < {})",
-                last.end
-            );
+            if start < last.end - 1e-12 {
+                return Err(RecordError::Overlap {
+                    start,
+                    prev_end: last.end,
+                });
+            }
         }
         if end > start {
             self.segments.push(Segment { start, end, level });
         }
+        Ok(())
     }
 
     /// All recorded segments.
@@ -153,6 +216,32 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn bad_level_panics() {
         UtilizationTimeline::new().record(0.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn try_record_rejects_without_panicking_or_mutating() {
+        let mut t = UtilizationTimeline::new();
+        t.try_record(0.0, 2.0, 1.0).unwrap();
+        assert_eq!(
+            t.try_record(3.0, 2.5, 1.0),
+            Err(RecordError::Inverted {
+                start: 3.0,
+                end: 2.5
+            })
+        );
+        assert_eq!(t.try_record(2.0, 3.0, 1.5), Err(RecordError::BadLevel(1.5)));
+        assert_eq!(
+            t.try_record(1.0, 3.0, 1.0),
+            Err(RecordError::Overlap {
+                start: 1.0,
+                prev_end: 2.0
+            })
+        );
+        // Rejections left the timeline untouched; valid appends still work.
+        assert_eq!(t.segments().len(), 1);
+        t.try_record(2.0, 3.0, 0.5).unwrap();
+        assert_eq!(t.segments().len(), 2);
+        assert!((t.busy_time() - 2.5).abs() < 1e-12);
     }
 
     #[test]

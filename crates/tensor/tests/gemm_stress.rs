@@ -16,7 +16,11 @@ fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
 #[test]
 fn large_rectangular_shapes_match_reference() {
     // Shapes deliberately straddling the blocking constants (KB=256, JB=512).
-    for &(m, k, n) in &[(3usize, 700usize, 1100usize), (257, 513, 31), (129, 255, 520)] {
+    for &(m, k, n) in &[
+        (3usize, 700usize, 1100usize),
+        (257, 513, 31),
+        (129, 255, 520),
+    ] {
         let a = pseudo(m, k, 1);
         let b = pseudo(k, n, 2);
         let mut c = Matrix::zeros(m, n);

@@ -1,0 +1,117 @@
+//! The typed event model shared by both engines.
+//!
+//! Every event is stamped with an engine-relative timestamp in **seconds**
+//! and the id of the worker it concerns. The timestamp's meaning depends on
+//! the sink's [`TimeDomain`](crate::TimeDomain): wall seconds since the
+//! sink was created (threaded engine) or virtual simulation seconds
+//! (discrete-event engine). Events about the coordinator itself use
+//! [`COORDINATOR`] as the worker id.
+
+use serde::{Deserialize, Serialize};
+
+/// Worker id used for events the coordinator emits about itself.
+pub const COORDINATOR: u32 = u32::MAX;
+
+/// Why the adaptive controller changed a worker's batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResizeReason {
+    /// Worker was ahead of the slowest peer; batch grew (Algorithm 2's
+    /// `×α` branch).
+    Ahead,
+    /// Worker was behind; batch shrank (the `÷α` branch).
+    Behind,
+    /// Size change came from clamping to the configured `[min, max]`.
+    Clamped,
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Coordinator handed a batch to a worker.
+    BatchDispatched {
+        /// Examples in the dispatched batch.
+        batch: usize,
+    },
+    /// Worker finished a batch and reported back.
+    BatchCompleted {
+        /// Examples in the completed batch.
+        batch: usize,
+        /// Model updates the worker applied for this batch.
+        updates: usize,
+    },
+    /// Adaptive controller resized a worker's batch.
+    BatchResized {
+        /// Batch size before the change.
+        old: usize,
+        /// Batch size after the change.
+        new: usize,
+        /// Which controller branch caused it.
+        reason: ResizeReason,
+    },
+    /// Message pushed onto a queue; `depth` is the length after the push.
+    QueuePushed {
+        /// Queue depth after the push.
+        depth: usize,
+    },
+    /// Message popped from a queue; `depth` is the length after the pop.
+    QueuePopped {
+        /// Queue depth after the pop.
+        depth: usize,
+    },
+    /// Host-to-device transfer completed.
+    H2d {
+        /// Payload size.
+        bytes: usize,
+        /// Modeled transfer time in seconds.
+        secs: f64,
+    },
+    /// Device-to-host transfer completed.
+    D2h {
+        /// Payload size.
+        bytes: usize,
+        /// Modeled transfer time in seconds.
+        secs: f64,
+    },
+    /// A device kernel was launched.
+    KernelLaunched {
+        /// Kernel name.
+        name: String,
+    },
+    /// GPU replica merged into the shared model.
+    ModelMerge {
+        /// Staleness discount applied to the merge (1.0 = fresh).
+        scale: f64,
+    },
+    /// Evaluation point on the loss curve.
+    EvalPoint {
+        /// Training loss at this point.
+        loss: f64,
+    },
+}
+
+impl EventKind {
+    /// Short category label used by exporters.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::BatchDispatched { .. }
+            | EventKind::BatchCompleted { .. }
+            | EventKind::BatchResized { .. } => "batch",
+            EventKind::QueuePushed { .. } | EventKind::QueuePopped { .. } => "queue",
+            EventKind::H2d { .. } | EventKind::D2h { .. } => "transfer",
+            EventKind::KernelLaunched { .. } => "kernel",
+            EventKind::ModelMerge { .. } => "merge",
+            EventKind::EvalPoint { .. } => "eval",
+        }
+    }
+}
+
+/// A stamped event: what happened, when, and to which worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Seconds in the sink's time domain.
+    pub t: f64,
+    /// Worker/device id, or [`COORDINATOR`].
+    pub worker: u32,
+    /// What happened.
+    pub kind: EventKind,
+}

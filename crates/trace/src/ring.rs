@@ -1,0 +1,108 @@
+//! Bounded drop-oldest event ring.
+//!
+//! Each tracing thread gets its own ring (see `sink.rs`), so the mutex
+//! around a ring is effectively uncontended: the owning thread pushes, and
+//! the only cross-thread access is a drain at the end of a run (or an
+//! explicit snapshot). When the ring is full the *oldest* event is
+//! discarded and the `dropped` count incremented, so a long run keeps its
+//! most recent window of events and reports exactly how many fell off.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// Fixed-capacity drop-oldest event buffer.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (capacity 0 drops all).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Take all buffered events, preserving push order. The dropped count
+    /// is *not* reset: it keeps accumulating over the ring's lifetime.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events evicted (or rejected by a zero-capacity ring) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum events held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn ev(i: usize) -> Event {
+        Event {
+            t: i as f64,
+            worker: 0,
+            kind: EventKind::QueuePushed { depth: i },
+        }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_window() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 2);
+        let drained = r.drain();
+        let ts: Vec<f64> = drained.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2, "drain must not reset the dropped count");
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_dropped() {
+        let mut r = EventRing::new(0);
+        for i in 0..7 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 7);
+    }
+}

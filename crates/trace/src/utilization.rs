@@ -1,0 +1,126 @@
+//! Derive per-worker utilization from a drained trace.
+//!
+//! This reconstructs the paper's Fig. 7 signal — how busy each device was
+//! over the run — purely from `BatchDispatched`/`BatchCompleted` pairs, so
+//! a Chrome trace and a utilization plot come from the same event stream
+//! and cannot disagree.
+
+use std::collections::HashMap;
+
+use crate::event::{EventKind, COORDINATOR};
+use crate::sink::Trace;
+
+/// Busy-time summary for one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerUtilization {
+    /// Worker id.
+    pub worker: u32,
+    /// Seconds spent between dispatch and completion.
+    pub busy_secs: f64,
+    /// `busy_secs` over the trace's observed time span (0.0 if the span
+    /// is empty).
+    pub busy_fraction: f64,
+    /// Completed batches.
+    pub batches: usize,
+    /// Examples processed (sum of completed batch sizes).
+    pub examples: usize,
+}
+
+/// Per-worker utilization over the trace's time span, sorted by worker id.
+/// Coordinator-only events contribute to the span but not to any worker.
+pub fn utilization(trace: &Trace) -> Vec<WorkerUtilization> {
+    let events = trace.events_sorted();
+    let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut pending: HashMap<u32, f64> = HashMap::new();
+    let mut acc: HashMap<u32, WorkerUtilization> = HashMap::new();
+    for event in &events {
+        t_min = t_min.min(event.t);
+        t_max = t_max.max(event.t);
+        if event.worker == COORDINATOR {
+            continue;
+        }
+        match &event.kind {
+            EventKind::BatchDispatched { .. } => {
+                pending.insert(event.worker, event.t);
+            }
+            EventKind::BatchCompleted { batch, .. } => {
+                if let Some(t0) = pending.remove(&event.worker) {
+                    let u = acc.entry(event.worker).or_insert(WorkerUtilization {
+                        worker: event.worker,
+                        busy_secs: 0.0,
+                        busy_fraction: 0.0,
+                        batches: 0,
+                        examples: 0,
+                    });
+                    u.busy_secs += (event.t - t0).max(0.0);
+                    u.batches += 1;
+                    u.examples += batch;
+                }
+            }
+            _ => {}
+        }
+    }
+    let span = (t_max - t_min).max(0.0);
+    let mut out: Vec<WorkerUtilization> = acc.into_values().collect();
+    for u in &mut out {
+        u.busy_fraction = if span > 0.0 { u.busy_secs / span } else { 0.0 };
+    }
+    out.sort_by_key(|u| u.worker);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ResizeReason;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn busy_fractions_come_from_paired_batches() {
+        let sink = TraceSink::virtual_time(64);
+        // Worker 0: busy [0, 1] and [2, 3] of a [0, 4] span → 0.5.
+        for (t0, t1) in [(0.0, 1.0), (2.0, 3.0)] {
+            sink.emit_at(t0, 0, EventKind::BatchDispatched { batch: 10 });
+            sink.emit_at(
+                t1,
+                0,
+                EventKind::BatchCompleted {
+                    batch: 10,
+                    updates: 1,
+                },
+            );
+        }
+        // Worker 1: busy [0, 4] → 1.0; also stretches the span.
+        sink.emit_at(0.0, 1, EventKind::BatchDispatched { batch: 100 });
+        sink.emit_at(
+            4.0,
+            1,
+            EventKind::BatchCompleted {
+                batch: 100,
+                updates: 1,
+            },
+        );
+        // Noise that must not affect utilization.
+        sink.emit_at(
+            1.5,
+            0,
+            EventKind::BatchResized {
+                old: 10,
+                new: 12,
+                reason: ResizeReason::Ahead,
+            },
+        );
+        let u = utilization(&sink.drain());
+        assert_eq!(u.len(), 2);
+        assert!((u[0].busy_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(u[0].examples, 20);
+        assert!((u[1].busy_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(u[1].batches, 1);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_workers() {
+        let sink = TraceSink::wall(8);
+        assert!(utilization(&sink.drain()).is_empty());
+    }
+}

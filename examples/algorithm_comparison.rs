@@ -12,10 +12,7 @@ use hetero_sgd::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("covtype");
-    let scale: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.002);
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.002);
     let paper = PaperDataset::from_name(name).unwrap_or_else(|| {
         eprintln!("unknown dataset '{name}', expected covtype|w8a|delicious|real-sim");
         std::process::exit(1);

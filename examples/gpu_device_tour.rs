@@ -36,7 +36,10 @@ fn main() {
     // --- 3. Streams: ordered async execution + events (CUDA model).
     let stream = Stream::new("tour");
     let ev_mem = device.h2d(&[1.0f32, 2.0, 3.0, 4.0]).unwrap();
-    println!("h2d of 16 B accounted {:.2} µs virtual", device.virtual_time() * 1e6);
+    println!(
+        "h2d of 16 B accounted {:.2} µs virtual",
+        device.virtual_time() * 1e6
+    );
     stream.launch(|| println!("kernel 1 runs first"));
     stream.launch(|| println!("kernel 2 runs second"));
     let event = stream.record_event();

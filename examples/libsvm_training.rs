@@ -87,5 +87,8 @@ fn main() {
     let (tx, tl) = test_set.batch(0, test_set.len());
     let probs = hetero_sgd::nn::predict_probs(&model, &tx, true);
     let acc = hetero_sgd::nn::accuracy(&probs, tl.as_targets());
-    println!("held-out accuracy of a 40-step reference model: {:.1}%", acc * 100.0);
+    println!(
+        "held-out accuracy of a 40-step reference model: {:.1}%",
+        acc * 100.0
+    );
 }

@@ -66,9 +66,7 @@ fn main() {
 
     // --- 3. Why it works: direction variance at the anchor.
     let (var_sgd, var_svrg) = direction_variance(&base, &base, &dataset, 8, 32, 5);
-    println!(
-        "\ngradient-direction variance at the anchor: sgd {var_sgd:.3e}, svrg {var_svrg:.3e}"
-    );
+    println!("\ngradient-direction variance at the anchor: sgd {var_sgd:.3e}, svrg {var_svrg:.3e}");
     println!(
         "(the paper's Hogbatch intuition: GPU large-batch gradients play the\n\
          anchor 'compass' role concurrently, CPU Hogwild steps are the noisy walk)"

@@ -56,8 +56,7 @@ fn main() {
     let t0 = Instant::now();
     let mut sparse_losses = Vec::new();
     for _ in 0..steps {
-        let (l, g) =
-            loss_and_gradient_sparse(&sparse_model, &x_sparse, labels.as_targets(), true);
+        let (l, g) = loss_and_gradient_sparse(&sparse_model, &x_sparse, labels.as_targets(), true);
         sparse_model.apply_gradient(&g, 0.1);
         sparse_losses.push(l);
     }

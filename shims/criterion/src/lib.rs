@@ -1,0 +1,235 @@
+//! Offline shim for the subset of `criterion` this workspace uses. It
+//! measures wall-clock time per iteration (median of a few samples after a
+//! short warm-up) and prints one line per benchmark; there is no HTML
+//! report, statistical analysis, or baseline comparison.
+//!
+//! Iteration counts adapt to a small per-benchmark time budget so heavy
+//! benchmarks (whole engine runs) stay fast; set `CRITERION_BUDGET_MS` to
+//! change the budget (default 200 ms per benchmark).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a benchmark's throughput is measured in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and calibration: time single runs until we know roughly
+        // how expensive one iteration is.
+        let calibration = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut warmups = 0u32;
+        while warmups < 3 && calibration.elapsed() < budget() {
+            let t = Instant::now();
+            black_box(routine());
+            one = t.elapsed();
+            warmups += 1;
+        }
+        let one_secs = one.as_secs_f64().max(1e-9);
+        // Aim for ~5 samples within the remaining budget, each batching
+        // enough iterations to be measurable.
+        let per_sample = (budget().as_secs_f64() / 5.0).max(1e-4);
+        let iters = ((per_sample / one_secs).round() as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+            if calibration.elapsed() > budget() * 3 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.secs_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { secs_per_iter: 0.0 };
+        f(&mut b);
+        self.report(&id, b.secs_per_iter);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { secs_per_iter: 0.0 };
+        f(&mut b, input);
+        self.report(&id.name, b.secs_per_iter);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; reports are per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, secs: f64) {
+        let mut line = format!("{}/{}: {}", self.name, id, format_time(secs));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                line.push_str(&format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6));
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                line.push_str(&format!(
+                    "  ({:.3} MiB/s)",
+                    n as f64 / secs / (1024.0 * 1024.0)
+                ));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A default-configured harness.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (CLI args are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn format_covers_ranges() {
+        assert!(format_time(2.0).ends_with("s/iter"));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline shim for the subset of `crossbeam` 0.8 this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`. The workspace only
+//! ever uses single-consumer channels, so `std::sync::mpsc` is a faithful
+//! substitute.
+
+/// MPSC channels re-exported from the standard library.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 3);
+    }
+}

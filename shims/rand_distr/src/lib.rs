@@ -1,0 +1,109 @@
+//! Offline shim for the subset of `rand_distr` 0.4 this workspace uses:
+//! the [`Normal`] distribution sampled through [`Distribution::sample`],
+//! implemented with the Box–Muller transform.
+
+use rand::Rng;
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal-distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Floats [`Normal`] can be parameterized over (f32, f64).
+pub trait NormalFloat: Copy {
+    /// Widen to f64 for internal math.
+    fn to_f64(self) -> f64;
+    /// Narrow from f64.
+    fn from_f64(x: f64) -> Self;
+}
+
+impl NormalFloat for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+}
+
+impl NormalFloat for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// A normal distribution; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let (m, s) = (mean.to_f64(), std_dev.to_f64());
+        if s.is_finite() && s >= 0.0 && m.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: two uniforms → one standard normal.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_roughly_match() {
+        let n = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let k = 20_000;
+        let samples: Vec<f64> = (0..k).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / k as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / k as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+}

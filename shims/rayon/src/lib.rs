@@ -1,0 +1,345 @@
+//! Offline shim for the subset of `rayon` this workspace uses, built on
+//! `std::thread::scope`. Parallelism is real (work is split across OS
+//! threads), but there is no work-stealing: each parallel call splits its
+//! items into contiguous chunks, one per thread, which matches how the
+//! workspace uses rayon (coarse row-block GEMM tasks and per-sub-batch
+//! Hogwild lanes).
+//!
+//! Supported surface:
+//! - `slice.par_iter().for_each(f)` / `.map(f).collect::<Vec<_>>()`
+//! - `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//! - `ThreadPoolBuilder::new().num_threads(n).thread_name(f).build()`
+//!   and `ThreadPool::install(f)` (sets the thread-count hint for nested
+//!   parallel calls made on the installing thread).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 means
+    /// "use available parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel calls on this thread will fan out to.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run `n_items` indexed jobs across up to `current_num_threads()` scoped
+/// threads, preserving item order in the returned vector.
+fn run_indexed<R, F>(n_items: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, n_items);
+    if threads == 1 {
+        return (0..n_items).map(job).collect();
+    }
+    let chunk = n_items.div_ceil(threads);
+    let job = &job;
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_items);
+                s.spawn(move || (lo..hi).map(job).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n_items);
+    for p in &mut parts {
+        out.append(p);
+    }
+    out
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+
+    /// Map every item through `f`, in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`]; terminate with [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        run_indexed(self.items.len(), |i| (self.f)(&self.items[i])).into()
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated form of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let n = self.chunks.len();
+        if n == 0 {
+            return;
+        }
+        let threads = current_num_threads().clamp(1, n);
+        if threads == 1 {
+            for (i, c) in self.chunks.into_iter().enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        // Deal chunks round-robin into per-thread work lists so each scoped
+        // thread owns a disjoint set of `&mut` chunks.
+        let mut lists: Vec<Vec<(usize, &'a mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, c) in self.chunks.into_iter().enumerate() {
+            lists[i % threads].push((i, c));
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = lists
+                .into_iter()
+                .map(|list| {
+                    s.spawn(move || {
+                        for item in list {
+                            f(item);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rayon shim worker panicked");
+            }
+        });
+    }
+}
+
+/// Extension trait providing `.par_iter()` on slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+    /// A parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Extension trait providing `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Everything call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (0 = use available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim spawns short-lived scoped
+    /// threads per parallel call, so persistent thread names don't apply.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: Fn(usize) -> String,
+    {
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A thread-count scope: parallel calls inside [`ThreadPool::install`] fan
+/// out to this pool's thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count installed for the current
+    /// thread's nested parallel calls.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// This pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let ys: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_for_each_visits_all() {
+        let xs: Vec<usize> = (0..257).collect();
+        let count = AtomicUsize::new(0);
+        xs.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint() {
+        let mut buf = vec![0u32; 100];
+        buf.par_chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        for (j, v) in buf.iter().enumerate() {
+            assert_eq!(*v, (j / 7) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+}

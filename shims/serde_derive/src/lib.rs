@@ -1,0 +1,449 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! targeting the value-tree traits in the companion `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote, which are
+//! unavailable offline). Supports what this workspace actually derives:
+//! non-generic structs with named fields, and enums with unit, tuple, and
+//! struct variants. The only serde attribute honoured is `#[serde(skip)]`
+//! (omit on serialize, `Default::default()` on deserialize); any other
+//! serde attribute is a hard error so unsupported shapes fail loudly at
+//! compile time instead of silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => serialize_struct_body(fields),
+        Shape::Enum(variants) => serialize_enum_body(&name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => deserialize_struct_body(&name, fields),
+        Shape::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter: TokenIter = input.into_iter().peekable();
+    // Scan past attributes and visibility to the `struct`/`enum` keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc — the restriction group is
+                // consumed by the Group arm below.
+            }
+            Some(TokenTree::Group(_)) => {}
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct/enum keyword found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported")
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: `{name}` has no body"),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body.stream()))
+    } else {
+        Shape::Enum(parse_variants(body.stream()))
+    };
+    (name, shape)
+}
+
+/// `true` if the attribute content is `serde(skip)`; panics on any other
+/// serde attribute; `false` (ignored) for doc/default/etc.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    if let Some(TokenTree::Group(args)) = iter.next() {
+        let items: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+        if items.len() == 1 && items[0] == "skip" {
+            return true;
+        }
+        panic!(
+            "serde shim derive: unsupported serde attribute `serde({})`",
+            items.join("")
+        );
+    }
+    panic!("serde shim derive: unsupported bare `serde` attribute");
+}
+
+/// Consume leading `#[...]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(iter: &mut TokenIter) -> bool {
+    let mut skip = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("serde shim derive: malformed attribute {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consume `pub` / `pub(crate)` visibility if present.
+fn eat_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Consume a type (everything up to a top-level `,`), tracking `<...>`
+/// nesting so commas inside generics don't terminate early.
+fn eat_type_until_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut iter);
+        eat_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        eat_type_until_comma(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count top-level comma-separated items in a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in iter {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut iter); // #[default], doc comments
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Trailing comma separating variants (or end of body). Explicit
+        // discriminants (`= expr`) don't occur on serde-derived enums here.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            other => {
+                panic!("serde shim derive: unexpected token after variant `{name}`: {other:?}")
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn push_field_lines(fields: &[Field], access_prefix: &str, obj_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        out.push_str(&format!(
+            "{obj_var}.push((::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::to_value({access_prefix}{fname})));\n"
+        ));
+    }
+    out
+}
+
+fn serialize_struct_body(fields: &[Field]) -> String {
+    let mut body = String::from(
+        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+         = ::std::vec::Vec::new();\n",
+    );
+    body.push_str(&push_field_lines(fields, "&self.", "__obj"));
+    body.push_str("::serde::Value::Object(__obj)");
+    body
+}
+
+fn deserialize_struct_body(name: &str, fields: &[Field]) -> String {
+    let mut body = format!(
+        "let __obj = match v {{\n\
+             ::serde::Value::Object(o) => o,\n\
+             _ => return ::core::result::Result::Err(::serde::DeError::msg(\
+                 \"expected object for `{name}`\")),\n\
+         }};\n\
+         ::core::result::Result::Ok({name} {{\n"
+    );
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            body.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+        } else {
+            body.push_str(&format!(
+                "{fname}: ::serde::__field(__obj, \"{fname}\")?,\n"
+            ));
+        }
+    }
+    body.push_str("})");
+    body
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut body = String::from("match self {\n");
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                body.push_str(&format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                body.push_str(&format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_value(__f0))]),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let vals: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                body.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Array(::std::vec![{}]))]),\n",
+                    binds.join(", "),
+                    vals.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __vo: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    binds.join(", ")
+                );
+                arm.push_str(&push_field_lines(fields, "", "__vo"));
+                arm.push_str(&format!(
+                    "::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(__vo))])\n}}\n"
+                ));
+                body.push_str(&arm);
+            }
+        }
+    }
+    body.push('}');
+    body
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{\n\
+                         ::serde::Value::Array(__a) if __a.len() == {n} => \
+                         ::core::result::Result::Ok({name}::{vname}({})),\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                             \"expected {n}-element array for `{name}::{vname}`\")),\n\
+                     }},\n",
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.skip {
+                        inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                    } else {
+                        inits
+                            .push_str(&format!("{fname}: ::serde::__field(__fo, \"{fname}\")?,\n"));
+                    }
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{\n\
+                         ::serde::Value::Object(__fo) => \
+                         ::core::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n\
+                         _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                             \"expected object for `{name}::{vname}`\")),\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\
+                     \"unknown `{name}` variant `{{}}`\", __s))),\n\
+             }},\n\
+             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     _ => ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\
+                         \"unknown `{name}` variant `{{}}`\", __tag))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                 \"expected string or single-key object for `{name}`\")),\n\
+         }}"
+    )
+}

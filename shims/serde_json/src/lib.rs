@@ -1,0 +1,448 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`], implemented as a
+//! JSON text layer over the `serde` shim's [`Value`] tree.
+//!
+//! Numbers are written with Rust's shortest-round-trip float formatting,
+//! so `f64` (and therefore `f32`, which embeds exactly) survives a text
+//! round-trip bit-for-bit. Non-finite floats serialize as `null`, matching
+//! `serde_json::to_value`'s lossy treatment rather than erroring.
+
+pub use serde::Value;
+
+/// Serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert `value` to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+// ----------------------------------------------------------------- writer
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // `1.0f64.to_string()` is "1" — keep a float marker so the value parses
+    // back as F64 rather than an integer only when it had a fraction; an
+    // integral float re-reading as an integer still deserializes correctly
+    // through the numeric coercions in the serde shim.
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a trailing \uXXXX.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("lone leading surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid trailing surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i32>("-17").unwrap(), -17);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(from_str::<f64>(&to_string(&x).unwrap()).unwrap(), x);
+        let y = 1.0e-7f32;
+        assert_eq!(from_str::<f32>(&to_string(&y).unwrap()).unwrap(), y);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "a\"b\\c\nd\te\u{1F600}\u{07}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v: Vec<Option<Vec<u32>>> = vec![Some(vec![1, 2]), None, Some(vec![])];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Option<Vec<u32>>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<u32>> = vec![vec![1], vec![2, 3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+    }
+}

@@ -85,9 +85,7 @@ fn parse_args() -> Result<Args, String> {
             "--engine" => args.engine = value.clone(),
             "--scale" => args.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
             "--width" => args.width = value.parse().map_err(|e| format!("--width: {e}"))?,
-            "--depth" => {
-                args.depth = Some(value.parse().map_err(|e| format!("--depth: {e}"))?)
-            }
+            "--depth" => args.depth = Some(value.parse().map_err(|e| format!("--depth: {e}"))?),
             "--budget" => args.budget = value.parse().map_err(|e| format!("--budget: {e}"))?,
             "--lr" => args.lr = value.parse().map_err(|e| format!("--lr: {e}"))?,
             "--gpu-batch" => {
@@ -122,7 +120,9 @@ fn main() {
     };
 
     let stats = args.dataset.stats();
-    let dataset = args.dataset.generate(args.scale.clamp(1e-6, 1.0), args.seed);
+    let dataset = args
+        .dataset
+        .generate(args.scale.clamp(1e-6, 1.0), args.seed);
     let depth = args.depth.unwrap_or(stats.hidden_layers);
     let spec = MlpSpec {
         input_dim: dataset.features(),

@@ -18,6 +18,7 @@
 //! | [`sim`] | `hetero-sim` | virtual clock, V100/Xeon performance models |
 //! | [`gpu`] | `hetero-gpu` | software GPU: allocator, streams, kernels |
 //! | [`core`] | `hetero-core` | coordinator/workers, Hogbatch algorithms, engines |
+//! | [`trace`] | `hetero-trace` | event tracing, counters, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use hetero_mq as mq;
 pub use hetero_nn as nn;
 pub use hetero_sim as sim;
 pub use hetero_tensor as tensor;
+pub use hetero_trace as trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -56,12 +58,8 @@ pub mod prelude {
         SimEngineConfig, ThreadedEngine, ThreadedEngineConfig, TrainConfig, TrainResult,
         WorkerKind,
     };
-    pub use hetero_data::{
-        BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig,
-    };
-    pub use hetero_nn::{
-        Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets,
-    };
+    pub use hetero_data::{BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig};
+    pub use hetero_nn::{Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets};
     pub use hetero_sim::{CpuModel, DeviceModel, GpuModel};
     pub use hetero_tensor::Matrix;
 }

@@ -29,7 +29,11 @@ fn small_hardware() -> (CpuModel, GpuModel) {
     (cpu, gpu)
 }
 
-fn sim_config(algo: AlgorithmKind, spec: MlpSpec, budget: f64) -> hetero_sgd::core::SimEngineConfig {
+fn sim_config(
+    algo: AlgorithmKind,
+    spec: MlpSpec,
+    budget: f64,
+) -> hetero_sgd::core::SimEngineConfig {
     let (cpu, gpu) = small_hardware();
     hetero_sgd::core::SimEngineConfig {
         spec,
@@ -134,9 +138,13 @@ fn both_engines_agree_on_update_accounting() {
     d.standardize();
     let spec = MlpSpec::tiny(6, 2);
 
-    let sim = SimEngine::new(sim_config(AlgorithmKind::CpuGpuHogbatch, spec.clone(), 0.05))
-        .unwrap()
-        .run(&d);
+    let sim = SimEngine::new(sim_config(
+        AlgorithmKind::CpuGpuHogbatch,
+        spec.clone(),
+        0.05,
+    ))
+    .unwrap()
+    .run(&d);
 
     let threaded = ThreadedEngine::new(ThreadedEngineConfig {
         spec,
@@ -196,9 +204,13 @@ fn tf_baseline_tracks_gpu_except_multilabel() {
         activation: Activation::Sigmoid,
         loss: LossKind::SoftmaxCrossEntropy,
     };
-    let gpu_s = SimEngine::new(sim_config(AlgorithmKind::MiniBatchGpu, spec_s.clone(), 0.05))
-        .unwrap()
-        .run(&single);
+    let gpu_s = SimEngine::new(sim_config(
+        AlgorithmKind::MiniBatchGpu,
+        spec_s.clone(),
+        0.05,
+    ))
+    .unwrap()
+    .run(&single);
     let tf_s = SimEngine::new(sim_config(AlgorithmKind::TensorFlow, spec_s, 0.05))
         .unwrap()
         .run(&single);
@@ -218,9 +230,13 @@ fn tf_baseline_tracks_gpu_except_multilabel() {
         activation: Activation::Sigmoid,
         loss: LossKind::MultiLabelBce,
     };
-    let gpu_m = SimEngine::new(sim_config(AlgorithmKind::MiniBatchGpu, spec_m.clone(), 0.05))
-        .unwrap()
-        .run(&multi);
+    let gpu_m = SimEngine::new(sim_config(
+        AlgorithmKind::MiniBatchGpu,
+        spec_m.clone(),
+        0.05,
+    ))
+    .unwrap()
+    .run(&multi);
     let tf_m = SimEngine::new(sim_config(AlgorithmKind::TensorFlow, spec_m, 0.05))
         .unwrap()
         .run(&multi);
@@ -254,12 +270,8 @@ fn shared_model_concurrent_cpu_gpu_workers_raw() {
                 let start = (lane * 37 + i * 13) % (data.len() - 8);
                 let local = shared.snapshot();
                 let (x, labels) = data.batch(start, start + 8);
-                let (_, g) = hetero_sgd::nn::loss_and_gradient(
-                    &local,
-                    &x,
-                    labels.as_targets(),
-                    false,
-                );
+                let (_, g) =
+                    hetero_sgd::nn::loss_and_gradient(&local, &x, labels.as_targets(), false);
                 shared.apply_gradient_racy(&g, 0.05);
             }
         }));
@@ -289,7 +301,10 @@ fn shared_model_concurrent_cpu_gpu_workers_raw() {
     }
     assert_eq!(shared.update_count(), 2 * 50 + 20);
     let final_model = shared.snapshot();
-    assert!(final_model.all_finite(), "races must never corrupt the model");
+    assert!(
+        final_model.all_finite(),
+        "races must never corrupt the model"
+    );
     // Training actually helped.
     let (x, labels) = data.batch(0, data.len());
     let before = {

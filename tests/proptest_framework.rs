@@ -47,9 +47,9 @@ proptest! {
         let mut seen = vec![false; n];
         let mut i = 0;
         while let Some(range) = s.next_batch(sizes[i % sizes.len()]) {
-            for r in range.start..range.end {
-                prop_assert!(!seen[r], "example {r} served twice");
-                seen[r] = true;
+            for (r, s) in seen.iter_mut().enumerate().take(range.end).skip(range.start) {
+                prop_assert!(!*s, "example {r} served twice");
+                *s = true;
             }
             i += 1;
         }
@@ -96,6 +96,7 @@ proptest! {
             workers: vec![],
             duration: 1.0,
             epochs: 1.0,
+            trace_path: None,
         };
         let n = r.normalized_curve(basis);
         prop_assert!((n[0].loss - 3.0).abs() < 1e-3);
