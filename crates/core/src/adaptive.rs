@@ -136,6 +136,22 @@ impl AdaptiveController {
         self.workers[w].updates += delta;
     }
 
+    /// Clamp worker `w`'s upper batch threshold to `limit` (floored at 1).
+    ///
+    /// Called when the worker's device OOMed at its current size: the
+    /// adaptive loop must never re-request a size the device already
+    /// rejected, so the ceiling moves down to the size that fit. A limit
+    /// at or above the current ceiling is a no-op.
+    pub fn clamp_max_batch(&mut self, w: usize, limit: usize) {
+        let limit = limit.max(1);
+        let s = &mut self.workers[w];
+        if limit < s.max_batch {
+            s.max_batch = limit;
+            s.min_batch = s.min_batch.min(limit);
+            s.batch = s.batch.min(limit);
+        }
+    }
+
     /// Current batch size of worker `w` (without adaptation).
     pub fn batch(&self, w: usize) -> usize {
         self.workers[w].batch
@@ -385,6 +401,32 @@ mod tests {
             })
             .collect();
         assert_eq!(reasons, vec![ResizeReason::Clamped, ResizeReason::Clamped]);
+    }
+
+    #[test]
+    fn clamp_max_batch_pins_the_ceiling() {
+        let mut c = AdaptiveController::new(
+            2.0,
+            true,
+            vec![
+                WorkerBatchState::new(8192, 512, 8192),
+                WorkerBatchState::new(56, 56, 3584),
+            ],
+        );
+        // Device OOMed at 8192; 2048 fit.
+        c.clamp_max_batch(0, 2048);
+        assert_eq!(c.batch(0), 2048);
+        // Even when far ahead, the grow branch can no longer cross 2048.
+        c.report_updates(0, 1000.0);
+        for _ in 0..5 {
+            assert!(c.on_request(0) <= 2048);
+        }
+        // Clamping below the floor drags the floor down too.
+        c.clamp_max_batch(0, 100);
+        assert_eq!(c.on_request(0), 100);
+        // Raising the limit is a no-op.
+        c.clamp_max_batch(0, 100_000);
+        assert_eq!(c.batch(0), 100);
     }
 
     #[test]

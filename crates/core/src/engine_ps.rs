@@ -265,6 +265,8 @@ impl PsEngine {
             duration: budget,
             epochs: total_served(&shard_schedulers),
             trace_path: None,
+            requeued_batches: 0,
+            aborted: None,
         }
     }
 }
@@ -409,6 +411,7 @@ mod tests {
             gpus: vec![gpu.clone()],
             tf_op_overhead: 20e-6,
             tf_multilabel_penalty: 3.0,
+            fault_plan: crate::fault::FaultPlan::none(),
         })
         .unwrap()
         .run(&data);

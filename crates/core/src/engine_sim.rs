@@ -25,13 +25,12 @@ use hetero_data::{BatchScheduler, DenseDataset};
 use hetero_nn::{loss_and_gradient, MlpSpec, Model};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 use crate::adaptive::{AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
+use crate::eval::{eval_subset, gather_rows};
+use crate::fault::FaultPlan;
 use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
 
 /// Hardware and comparator parameters for a simulated run.
@@ -53,6 +52,10 @@ pub struct SimEngineConfig {
     /// TensorFlow comparator: slowdown factor on multi-label losses
     /// (§VII-B: delicious "is much slower in TensorFlow").
     pub tf_multilabel_penalty: f64,
+    /// Deterministic fault injection (empty = fault-free run). The sim
+    /// honours [`crate::FaultKind::DieAfterBatches`]; the OOM kinds need a
+    /// real device allocator and only apply to the threaded engine.
+    pub fault_plan: FaultPlan,
 }
 
 impl SimEngineConfig {
@@ -65,6 +68,7 @@ impl SimEngineConfig {
             gpus: vec![GpuModel::v100()],
             tf_op_overhead: 20e-6,
             tf_multilabel_penalty: 3.0,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -323,6 +327,11 @@ impl SimEngine {
                 .set(examples as f64 / budget.max(1e-9));
             sink.gauge("engine.beta").set(train.adaptive.beta);
         }
+        let aborted = if stats.iter().all(|s| s.retired.is_some()) {
+            Some("all workers retired by faults".to_string())
+        } else {
+            None
+        };
         let mut result = TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
@@ -331,6 +340,10 @@ impl SimEngine {
             duration: budget,
             epochs: scheduler.epochs_elapsed(),
             trace_path: None,
+            // The sim loses no in-flight work on an injected death (the
+            // worker dies at assignment time), so nothing is re-queued.
+            requeued_batches: 0,
+            aborted,
         };
         // The epoch-end loss evaluations run on the GPU (§VII-B) but must
         // not perturb the worker schedules, so they live on a dedicated
@@ -341,6 +354,7 @@ impl SimEngine {
             batches: 0,
             examples: 0,
             final_batch: 0,
+            retired: None,
             timeline: eval_timeline,
         });
         result
@@ -365,6 +379,34 @@ impl SimEngine {
     ) {
         if queue.now() >= budget {
             return;
+        }
+        if stats[worker].retired.is_some() {
+            return;
+        }
+        // Injected death: the worker completed its allotted batches and
+        // never asks for work again — the simulated analogue of the
+        // threaded engine's quarantine (survivors keep the run alive).
+        if let Some(k) = self.cfg.fault_plan.death_after(worker) {
+            if stats[worker].batches >= k {
+                let reason = format!("injected death after {k} batches");
+                if sink.enabled() {
+                    sink.emit(
+                        worker as u32,
+                        EventKind::WorkerFault {
+                            reason: reason.clone(),
+                        },
+                    );
+                    sink.emit(
+                        worker as u32,
+                        EventKind::WorkerRetired {
+                            reason: reason.clone(),
+                        },
+                    );
+                }
+                sink.counter("engine.faults").add(1);
+                stats[worker].retired = Some(reason);
+                return;
+            }
         }
         let size = controller.on_request_traced(worker, sink);
         let Some(range) = scheduler.next_batch(size) else {
@@ -669,41 +711,6 @@ impl SimEngine {
     }
 }
 
-/// Deterministic evaluation subset: `k` rows sampled without replacement.
-fn eval_subset(n: usize, k: usize, seed: u64) -> Vec<usize> {
-    let k = k.min(n);
-    let mut rows: Vec<usize> = (0..n).collect();
-    rows.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xe7a1));
-    rows.truncate(k);
-    rows.sort_unstable();
-    rows
-}
-
-/// Gather scattered rows into a dense eval batch.
-fn gather_rows(
-    dataset: &DenseDataset,
-    rows: &[usize],
-) -> (hetero_tensor::Matrix, hetero_data::Labels) {
-    let d = dataset.features();
-    let mut x = hetero_tensor::Matrix::zeros(rows.len(), d);
-    for (i, &r) in rows.iter().enumerate() {
-        x.row_mut(i).copy_from_slice(dataset.x.row(r));
-    }
-    let labels = match &dataset.labels {
-        hetero_data::Labels::Classes(v) => {
-            hetero_data::Labels::Classes(rows.iter().map(|&r| v[r]).collect())
-        }
-        hetero_data::Labels::MultiHot(m) => {
-            let mut y = hetero_tensor::Matrix::zeros(rows.len(), m.cols());
-            for (i, &r) in rows.iter().enumerate() {
-                y.row_mut(i).copy_from_slice(m.row(r));
-            }
-            hetero_data::Labels::MultiHot(y)
-        }
-    };
-    (x, labels)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,6 +778,7 @@ mod tests {
             gpus: vec![gpu],
             tf_op_overhead: 20e-6,
             tf_multilabel_penalty: 3.0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -1111,6 +1119,66 @@ mod tests {
             assert_eq!(a.worker, b.worker);
             assert_eq!(a.kind, b.kind);
         }
+    }
+
+    #[test]
+    fn injected_death_degrades_to_survivors() {
+        let data = tiny_dataset();
+        let mut cfg = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05);
+        // Kill the GPU worker (slot 1) after 3 batches.
+        cfg.fault_plan = FaultPlan::none().die_after(1, 3);
+        let sink = TraceSink::virtual_time(1 << 14);
+        let r = SimEngine::new(cfg).unwrap().run_traced(&data, &sink);
+        let gpu = &r.workers[1];
+        assert_eq!(gpu.kind, WorkerKind::Gpu);
+        assert!(gpu.retired.as_deref().unwrap().contains("injected death"));
+        assert_eq!(gpu.batches, 3, "worker kept working after its death");
+        // The CPU survivor kept training and the run still converged.
+        assert!(r.workers[0].retired.is_none());
+        assert!(r.workers[0].batches > 3);
+        assert!(r.final_loss() < r.initial_loss());
+        assert!(r.aborted.is_none());
+        let trace = sink.drain();
+        let events = trace.events_sorted();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerFault { .. }) && e.worker == 1));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerRetired { .. }) && e.worker == 1));
+        let counters: std::collections::HashMap<String, f64> =
+            trace.counters.iter().cloned().collect();
+        assert_eq!(counters.get("engine.faults"), Some(&1.0));
+    }
+
+    #[test]
+    fn all_workers_dead_marks_run_aborted() {
+        let data = tiny_dataset();
+        let mut cfg = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.05);
+        cfg.fault_plan = FaultPlan::none().die_after(0, 1).die_after(1, 1);
+        let r = SimEngine::new(cfg).unwrap().run(&data);
+        assert!(r.aborted.as_deref().unwrap().contains("all workers"));
+        for w in &r.workers[..2] {
+            assert!(w.retired.is_some());
+            assert_eq!(w.batches, 1);
+        }
+    }
+
+    #[test]
+    fn fault_free_run_emits_no_fault_events() {
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.03);
+        let sink = TraceSink::virtual_time(1 << 14);
+        let r = SimEngine::new(cfg).unwrap().run_traced(&data, &sink);
+        assert!(r.aborted.is_none());
+        assert_eq!(r.requeued_batches, 0);
+        assert!(r.workers.iter().all(|w| w.retired.is_none()));
+        assert!(!sink.drain().events_sorted().iter().any(|e| matches!(
+            e.kind,
+            EventKind::WorkerFault { .. }
+                | EventKind::WorkerRetired { .. }
+                | EventKind::BatchRequeued { .. }
+        )));
     }
 
     #[test]

@@ -12,20 +12,41 @@
 //! demonstrates that the algorithms are implementable exactly as §V
 //! describes. The deterministic counterpart for reproducing the paper's
 //! figures is [`crate::engine_sim::SimEngine`].
+//!
+//! ## Supervision (see `DESIGN.md`, "Failure model & supervision")
+//!
+//! Workers never panic the process. Each worker body runs under
+//! `catch_unwind` and reports typed [`WorkerError`] faults to the
+//! coordinator instead:
+//!
+//! - a **device OOM** during a training step triggers a bounded retry loop
+//!   that halves the batch until the step fits; the size that fit clamps
+//!   the adaptive controller's ceiling so the OOMed size is never
+//!   re-requested, and the unprocessed tail of the range is re-queued;
+//! - an **unrecoverable fault** (model doesn't fit at upload, a panic, a
+//!   dead channel) retires the worker: its slot is quarantined, its
+//!   in-flight batch is re-queued to survivors, and training degrades
+//!   gracefully to the remaining devices;
+//! - when **every** worker is gone the run stops early and reports why in
+//!   [`TrainResult::aborted`] instead of hanging.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hetero_data::batch::BatchRange;
-use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_data::{BatchScheduler, DenseDataset};
 use hetero_gpu::{GpuDevice, GpuMlp};
 use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
 use hetero_nn::{loss_and_gradient, MlpSpec, Model, SharedModel};
 use hetero_sim::{DeviceModel, GpuModel};
-use hetero_trace::{EventKind, TraceSink, COORDINATOR};
+use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 
 use crate::adaptive::{AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
+use crate::eval::{eval_subset, gather_rows};
+use crate::fault::{panic_message, FaultPlan, WorkerError};
 use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
 
 /// Configuration of the threaded engine.
@@ -42,6 +63,8 @@ pub struct ThreadedEngineConfig {
     /// Number of GPU workers to spawn (the paper's future work is scaling
     /// to multi-GPU; each worker gets its own software device + replica).
     pub gpu_workers: usize,
+    /// Deterministic fault injection (empty = fault-free run).
+    pub fault_plan: FaultPlan,
 }
 
 #[derive(Debug)]
@@ -57,6 +80,74 @@ struct Ready {
     busy_start: f64,
     busy_end: f64,
     batch: usize,
+    /// When a device OOM forced the step smaller, the batch size that
+    /// actually fit — the coordinator clamps the controller's ceiling to it.
+    shrunk_to: Option<usize>,
+    /// The unprocessed tail of the dispatched range after an OOM shrink;
+    /// the coordinator re-queues it.
+    leftover: Option<BatchRange>,
+}
+
+/// What a worker sends the coordinator: a completed batch, or a typed
+/// fault in place of a panic.
+enum WorkerMsg {
+    Ready(Ready),
+    Fault { worker: usize, error: WorkerError },
+}
+
+/// Coordinator-side supervision state threaded through the helpers below.
+struct Supervision<'a> {
+    active: &'a mut [bool],
+    stats: &'a mut [WorkerStats],
+    in_flight: &'a mut [Option<BatchRange>],
+    requeue: &'a mut VecDeque<BatchRange>,
+    requeued_batches: &'a mut u64,
+    faults_ctr: &'a CounterHandle,
+    requeues_ctr: &'a CounterHandle,
+}
+
+impl Supervision<'_> {
+    /// Quarantine worker `w`: mark the slot inactive, record why, and
+    /// return its in-flight batch (if any) to the dispatch queue.
+    fn retire(&mut self, w: usize, error: &WorkerError, sink: &TraceSink) {
+        if let Some(existing) = &self.stats[w].retired {
+            // Already quarantined — but a typed fault that lost the race to
+            // the generic disconnect sweep still carries the real reason.
+            if existing.starts_with("channel disconnected")
+                && !matches!(error, WorkerError::Disconnected(_))
+            {
+                self.stats[w].retired = Some(error.to_string());
+            }
+            return;
+        }
+        self.active[w] = false;
+        let reason = error.to_string();
+        self.stats[w].retired = Some(reason.clone());
+        self.faults_ctr.add(1);
+        if sink.enabled() {
+            sink.emit(
+                w as u32,
+                EventKind::WorkerFault {
+                    reason: reason.clone(),
+                },
+            );
+            sink.emit(w as u32, EventKind::WorkerRetired { reason });
+        }
+        if let Some(range) = self.in_flight[w].take() {
+            self.push_requeue(range, sink);
+        }
+    }
+
+    /// Return a batch range to the dispatch queue (in-flight work of a dead
+    /// worker, or the tail an OOM shrink left behind).
+    fn push_requeue(&mut self, range: BatchRange, sink: &TraceSink) {
+        *self.requeued_batches += 1;
+        self.requeues_ctr.add(1);
+        if sink.enabled() {
+            sink.emit(COORDINATOR, EventKind::BatchRequeued { batch: range.len() });
+        }
+        self.requeue.push_back(range);
+    }
 }
 
 /// The wall-clock engine.
@@ -96,10 +187,11 @@ impl ThreadedEngine {
     /// [`ThreadedEngine::run`] with structured tracing attached.
     ///
     /// Every batch dispatch/completion, adaptive resize, queue operation,
-    /// GPU transfer/kernel, model merge, and eval point flows through
-    /// `sink`, stamped with wall seconds since the sink was created. The
-    /// sink should be in the wall-clock domain ([`TraceSink::wall`]); with
-    /// a disabled sink this is exactly [`ThreadedEngine::run`].
+    /// GPU transfer/kernel, model merge, eval point, and worker fault flows
+    /// through `sink`, stamped with wall seconds since the sink was
+    /// created. The sink should be in the wall-clock domain
+    /// ([`TraceSink::wall`]); with a disabled sink this is exactly
+    /// [`ThreadedEngine::run`].
     pub fn run_traced(&self, dataset: Arc<DenseDataset>, sink: &TraceSink) -> TrainResult {
         let cfg = &self.cfg;
         let train = cfg.train.clone();
@@ -122,7 +214,7 @@ impl ThreadedEngine {
             }
         }
 
-        let (ready_tx, ready_rx) = channel_traced::<Ready>(sink, "ready", COORDINATOR);
+        let (ready_tx, ready_rx) = channel_traced::<WorkerMsg>(sink, "ready", COORDINATOR);
         let mut exec_txs: Vec<Sender<CoordMsg>> = Vec::new();
         let mut handles = Vec::new();
         for (slot, kind) in kinds.iter().enumerate() {
@@ -159,19 +251,25 @@ impl ThreadedEngine {
         let mut controller = self.build_controller(&kinds, dataset.len());
         let mut scheduler = BatchScheduler::new(dataset.len(), train.max_epochs);
         let mut curve: Vec<LossPoint> = Vec::new();
-        let eval_n = train.eval_subsample.min(dataset.len());
 
         let timeline_rejects = sink.counter("engine.timeline_rejects");
+        let faults_ctr = sink.counter("engine.faults");
+        let requeues_ctr = sink.counter("engine.requeues");
+
+        // Evaluation subset: the same seeded random subsample at every eval
+        // point (a fixed prefix would bias the curve toward the dataset's
+        // shipped ordering).
+        let eval_rows = eval_subset(dataset.len(), train.eval_subsample, train.seed);
+        let (eval_x, eval_labels) = gather_rows(&dataset, &eval_rows);
 
         let eval = |shared: &SharedModel, scheduler: &BatchScheduler, t0: Instant| -> LossPoint {
             let model = shared.snapshot();
-            let (x, labels) = dataset.batch(0, eval_n);
-            let pass = hetero_nn::forward(&model, &x, true);
+            let pass = hetero_nn::forward(&model, &eval_x, true);
             let point = LossPoint {
                 time: t0.elapsed().as_secs_f64(),
                 epochs: scheduler.epochs_elapsed(),
-                loss: hetero_nn::loss(pass.probs(), labels.as_targets(), spec.loss),
-                accuracy: hetero_nn::accuracy(pass.probs(), labels.as_targets()),
+                loss: hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss),
+                accuracy: hetero_nn::accuracy(pass.probs(), eval_labels.as_targets()),
             };
             if sink.enabled() {
                 sink.emit(
@@ -187,37 +285,102 @@ impl ThreadedEngine {
 
         let budget = Duration::from_secs_f64(train.time_budget);
         let mut active = vec![true; kinds.len()];
+        let mut in_flight: Vec<Option<BatchRange>> = vec![None; kinds.len()];
+        let mut requeue: VecDeque<BatchRange> = VecDeque::new();
+        let mut requeued_batches: u64 = 0;
+
+        macro_rules! sup {
+            () => {
+                Supervision {
+                    active: &mut active,
+                    stats: &mut stats,
+                    in_flight: &mut in_flight,
+                    requeue: &mut requeue,
+                    requeued_batches: &mut requeued_batches,
+                    faults_ctr: &faults_ctr,
+                    requeues_ctr: &requeues_ctr,
+                }
+            };
+        }
+
+        /// Re-queued ranges are served before the scheduler so they are
+        /// never re-counted in `examples_served`/`epochs_elapsed` (the
+        /// scheduler counted them when it first handed them out).
+        fn next_range(
+            requeue: &mut VecDeque<BatchRange>,
+            scheduler: &mut BatchScheduler,
+            size: usize,
+        ) -> Option<BatchRange> {
+            if let Some(r) = requeue.pop_front() {
+                return Some(r);
+            }
+            scheduler.next_batch(size).filter(|r| !r.is_empty())
+        }
+
+        macro_rules! dispatch {
+            ($w:expr) => {{
+                let w: usize = $w;
+                let size = controller.on_request_traced(w, sink);
+                match next_range(&mut requeue, &mut scheduler, size) {
+                    Some(range) => {
+                        if sink.enabled() {
+                            sink.emit(w as u32, EventKind::BatchDispatched { batch: range.len() });
+                        }
+                        match exec_txs[w].send(CoordMsg::Execute(range)) {
+                            Ok(()) => in_flight[w] = Some(range),
+                            Err(_) => {
+                                // The worker died without a fault message:
+                                // the range never left, put it back and
+                                // quarantine the slot.
+                                requeue.push_front(range);
+                                sup!().retire(
+                                    w,
+                                    &WorkerError::Disconnected("exec channel closed".into()),
+                                    sink,
+                                );
+                            }
+                        }
+                    }
+                    None => {
+                        let _ = exec_txs[w].send(CoordMsg::Stop);
+                        active[w] = false;
+                    }
+                }
+            }};
+        }
+
         // Kick off every worker.
         for w in 0..kinds.len() {
-            let size = controller.on_request_traced(w, sink);
-            match scheduler.next_batch(size) {
-                Some(range) if !range.is_empty() => {
-                    if sink.enabled() {
-                        sink.emit(w as u32, EventKind::BatchDispatched { batch: range.len() });
-                    }
-                    exec_txs[w]
-                        .send(CoordMsg::Execute(range))
-                        .expect("worker alive");
-                }
-                _ => {
-                    let _ = exec_txs[w].send(CoordMsg::Stop);
-                    active[w] = false;
-                }
-            }
+            dispatch!(w);
         }
-        let mut next_eval = Duration::from_secs_f64(train.eval_interval);
+        let eval_interval = Duration::from_secs_f64(train.eval_interval);
+        let mut next_eval = eval_interval;
 
         while active.iter().any(|&a| a) {
             let now = t0.elapsed();
             if now >= next_eval {
                 curve.push(eval(&shared, &scheduler, t0));
-                next_eval += Duration::from_secs_f64(train.eval_interval);
+                // Advance past `now` in whole intervals: a stall longer
+                // than one interval must not leave `next_eval` behind the
+                // wall clock (which would starve batch dispatch with
+                // back-to-back evals until it caught up).
+                let behind = (now - next_eval).as_secs_f64() / eval_interval.as_secs_f64();
+                next_eval += eval_interval * (behind.floor() as u32 + 1);
                 continue;
             }
             let wait = (next_eval - now).min(Duration::from_millis(50));
             match ready_rx.recv_timeout(wait) {
-                Ok(r) => {
+                Ok(WorkerMsg::Ready(r)) => {
+                    in_flight[r.worker] = None;
                     controller.report_updates(r.worker, r.updates);
+                    if let Some(fit) = r.shrunk_to {
+                        // The device OOMed above `fit`: the adaptive loop
+                        // must never re-request a size it already rejected.
+                        controller.clamp_max_batch(r.worker, fit);
+                    }
+                    if let Some(tail) = r.leftover {
+                        sup!().push_requeue(tail, sink);
+                    }
                     let s = &mut stats[r.worker];
                     s.updates += r.updates;
                     s.batches += 1;
@@ -237,36 +400,50 @@ impl ThreadedEngine {
                     }
 
                     if t0.elapsed() < budget {
-                        let size = controller.on_request_traced(r.worker, sink);
-                        match scheduler.next_batch(size) {
-                            Some(range) if !range.is_empty() => {
-                                if sink.enabled() {
-                                    sink.emit(
-                                        r.worker as u32,
-                                        EventKind::BatchDispatched { batch: range.len() },
-                                    );
-                                }
-                                exec_txs[r.worker]
-                                    .send(CoordMsg::Execute(range))
-                                    .expect("worker alive");
-                            }
-                            _ => {
-                                let _ = exec_txs[r.worker].send(CoordMsg::Stop);
-                                active[r.worker] = false;
-                            }
-                        }
+                        dispatch!(r.worker);
                     } else {
                         let _ = exec_txs[r.worker].send(CoordMsg::Stop);
                         active[r.worker] = false;
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
+                Ok(WorkerMsg::Fault { worker, error }) => {
+                    sup!().retire(worker, &error, sink);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Sweep for workers that died without managing to send
+                    // a fault (their exec receiver is gone).
+                    for w in 0..kinds.len() {
+                        if active[w] && exec_txs[w].is_disconnected() {
+                            sup!().retire(
+                                w,
+                                &WorkerError::Disconnected("exec channel closed".into()),
+                                sink,
+                            );
+                        }
+                    }
+                }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+
+        // Shut down: every surviving worker already got Stop when its slot
+        // went inactive; dropping the senders unblocks any straggler.
+        drop(exec_txs);
         for h in handles {
             let _ = h.join();
         }
+        // Faults that raced the shutdown still deserve a retirement record.
+        while let Ok(msg) = ready_rx.try_recv() {
+            if let WorkerMsg::Fault { worker, error } = msg {
+                sup!().retire(worker, &error, sink);
+            }
+        }
+        let aborted = if stats.iter().all(|s| s.retired.is_some()) {
+            Some("all workers retired by faults".to_string())
+        } else {
+            None
+        };
+
         curve.push(eval(&shared, &scheduler, t0));
 
         for (w, s) in stats.iter_mut().enumerate() {
@@ -287,6 +464,8 @@ impl ThreadedEngine {
             duration,
             epochs: scheduler.epochs_elapsed(),
             trace_path: None,
+            requeued_batches,
+            aborted,
         }
     }
 
@@ -297,76 +476,88 @@ impl ThreadedEngine {
         dataset: Arc<DenseDataset>,
         shared: Arc<SharedModel>,
         rx: Receiver<CoordMsg>,
-        tx: Sender<Ready>,
+        tx: Sender<WorkerMsg>,
         t0: Instant,
         train: TrainConfig,
         sink: TraceSink,
     ) -> std::thread::JoinHandle<()> {
         let threads = self.cfg.cpu_threads;
+        let plan = self.cfg.fault_plan.clone();
         std::thread::Builder::new()
             .name(format!("cpu-worker-{slot}"))
             .spawn(move || {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .thread_name(|i| format!("hogwild-{i}"))
-                    .build()
-                    .expect("cpu worker pool");
-                while let Ok(msg) = rx.recv() {
-                    let range = match msg {
-                        CoordMsg::Execute(r) => r,
-                        CoordMsg::Stop => break,
-                    };
-                    let busy_start = t0.elapsed().as_secs_f64();
-                    let total = range.len();
-                    let sub = total.div_ceil(threads);
-                    let sub_ranges: Vec<(usize, usize)> = (0..threads)
-                        .map(|i| {
-                            let s = range.start + i * sub;
-                            (s, (s + sub).min(range.end))
-                        })
-                        .filter(|(s, e)| e > s)
-                        .collect();
-                    let n_updates = sub_ranges.len();
-                    // Each Hogwild lane: read the live shared model (racy
-                    // snapshot), compute its sub-gradient, apply racily.
-                    pool.install(|| {
-                        use rayon::prelude::*;
-                        sub_ranges.par_iter().for_each(|&(s, e)| {
-                            let local = shared.snapshot();
-                            let (x, labels) = dataset.batch(s, e);
-                            let (_, mut g) =
-                                loss_and_gradient(&local, &x, labels.as_targets(), false);
-                            if let Some(c) = train.grad_clip {
-                                g.clip_to_norm(c);
-                            }
-                            let eta = train.lr_scaling.eta(train.lr, e - s);
-                            shared.apply_gradient_racy(&g, eta);
+                let body = || -> Result<(), WorkerError> {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .thread_name(|i| format!("hogwild-{i}"))
+                        .build()
+                        .map_err(|e| WorkerError::Panic(format!("cpu worker pool: {e}")))?;
+                    let mut batches_done = 0u64;
+                    while let Ok(msg) = rx.recv() {
+                        let range = match msg {
+                            CoordMsg::Execute(r) => r,
+                            CoordMsg::Stop => break,
+                        };
+                        if plan.death_after(slot) == Some(batches_done) {
+                            panic!(
+                                "injected fault: worker {slot} died after {batches_done} batches"
+                            );
+                        }
+                        let busy_start = t0.elapsed().as_secs_f64();
+                        let total = range.len();
+                        let sub = total.div_ceil(threads);
+                        let sub_ranges: Vec<(usize, usize)> = (0..threads)
+                            .map(|i| {
+                                let s = range.start + i * sub;
+                                (s, (s + sub).min(range.end))
+                            })
+                            .filter(|(s, e)| e > s)
+                            .collect();
+                        let n_updates = sub_ranges.len();
+                        // Each Hogwild lane: read the live shared model (racy
+                        // snapshot), compute its sub-gradient, apply racily.
+                        pool.install(|| {
+                            use rayon::prelude::*;
+                            sub_ranges.par_iter().for_each(|&(s, e)| {
+                                let local = shared.snapshot();
+                                let (x, labels) = dataset.batch(s, e);
+                                let (_, mut g) =
+                                    loss_and_gradient(&local, &x, labels.as_targets(), false);
+                                if let Some(c) = train.grad_clip {
+                                    g.clip_to_norm(c);
+                                }
+                                let eta = train.lr_scaling.eta(train.lr, e - s);
+                                shared.apply_gradient_racy(&g, eta);
+                            });
                         });
-                    });
-                    let busy_end = t0.elapsed().as_secs_f64();
-                    if sink.enabled() {
-                        sink.emit(
-                            slot as u32,
-                            EventKind::BatchCompleted {
-                                batch: total,
-                                updates: n_updates,
-                            },
-                        );
-                    }
-                    if tx
-                        .send(Ready {
+                        let busy_end = t0.elapsed().as_secs_f64();
+                        batches_done += 1;
+                        if sink.enabled() {
+                            sink.emit(
+                                slot as u32,
+                                EventKind::BatchCompleted {
+                                    batch: total,
+                                    updates: n_updates,
+                                },
+                            );
+                        }
+                        let sent = tx.send(WorkerMsg::Ready(Ready {
                             worker: slot,
                             updates: n_updates as f64 * train.adaptive.beta,
                             examples: total as u64,
                             busy_start,
                             busy_end,
                             batch: total,
-                        })
-                        .is_err()
-                    {
-                        break;
+                            shrunk_to: None,
+                            leftover: None,
+                        }));
+                        if sent.is_err() {
+                            break; // coordinator gone: nothing left to tell
+                        }
                     }
-                }
+                    Ok(())
+                };
+                report_worker_exit(slot, catch_unwind(AssertUnwindSafe(body)), &tx);
             })
             .expect("spawn cpu worker")
     }
@@ -378,74 +569,116 @@ impl ThreadedEngine {
         dataset: Arc<DenseDataset>,
         shared: Arc<SharedModel>,
         rx: Receiver<CoordMsg>,
-        tx: Sender<Ready>,
+        tx: Sender<WorkerMsg>,
         t0: Instant,
         train: TrainConfig,
         sink: TraceSink,
     ) -> std::thread::JoinHandle<()> {
         let perf = self.cfg.gpu_perf.clone();
+        let plan = self.cfg.fault_plan.clone();
         std::thread::Builder::new()
             .name(format!("gpu-worker-{slot}"))
             .spawn(move || {
-                let device = GpuDevice::new_traced(perf, &sink, slot as u32);
-                let base = shared.snapshot();
-                let mut mlp = match GpuMlp::upload(&device, &base) {
-                    Ok(m) => m,
-                    Err(e) => panic!("model does not fit on device: {e}"),
-                };
-                while let Ok(msg) = rx.recv() {
-                    let range = match msg {
-                        CoordMsg::Execute(r) => r,
-                        CoordMsg::Stop => break,
-                    };
-                    let busy_start = t0.elapsed().as_secs_f64();
-                    // Deep-copy replica of the current global model (§V).
-                    let updates_at_snapshot = shared.update_count();
-                    let snapshot = shared.snapshot();
-                    mlp.refresh(&snapshot);
-                    let (x, labels) = dataset.batch(range.start, range.end);
-                    let eta = train.lr_scaling.eta(train.lr, range.len());
-                    mlp.train_step(&x, labels.as_targets(), eta)
-                        .expect("device OOM during training step");
-                    // Merge the replica's delta into the global model
-                    // without clobbering concurrent CPU updates. §VI-B:
-                    // the delta is discounted by how stale its base
-                    // snapshot became while the device was computing.
-                    let staleness = shared.update_count().saturating_sub(updates_at_snapshot);
-                    let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
-                    let replica = mlp.download();
-                    shared.merge_delta_scaled(&snapshot, &replica, scale);
-                    let busy_end = t0.elapsed().as_secs_f64();
-                    if sink.enabled() {
-                        sink.emit(
-                            slot as u32,
-                            EventKind::ModelMerge {
-                                scale: scale as f64,
-                            },
-                        );
-                        sink.emit(
-                            slot as u32,
-                            EventKind::BatchCompleted {
-                                batch: range.len(),
-                                updates: 1,
-                            },
-                        );
+                let body = || -> Result<(), WorkerError> {
+                    let device = GpuDevice::new_traced(perf, &sink, slot as u32);
+                    if plan.upload_oom(slot) {
+                        device.inject_oom_at(0);
                     }
-                    if tx
-                        .send(Ready {
+                    if let Some(n) = plan.oom_alloc_index(slot) {
+                        device.inject_oom_at(n);
+                    }
+                    let base = shared.snapshot();
+                    // An OOM here is unrecoverable — there is no batch to
+                    // shrink when the parameters themselves don't fit.
+                    let mut mlp = GpuMlp::upload(&device, &base)
+                        .map_err(|e| WorkerError::Oom(format!("model upload failed: {e}")))?;
+                    let mut batches_done = 0u64;
+                    while let Ok(msg) = rx.recv() {
+                        let range = match msg {
+                            CoordMsg::Execute(r) => r,
+                            CoordMsg::Stop => break,
+                        };
+                        if plan.death_after(slot) == Some(batches_done) {
+                            panic!(
+                                "injected fault: worker {slot} died after {batches_done} batches"
+                            );
+                        }
+                        let busy_start = t0.elapsed().as_secs_f64();
+                        // Deep-copy replica of the current global model (§V).
+                        let updates_at_snapshot = shared.update_count();
+                        let snapshot = shared.snapshot();
+                        // Bounded retry: halve the batch until the step fits
+                        // on the device (a mid-step OOM leaves the replica
+                        // partially updated, so refresh before every try).
+                        let mut len = range.len();
+                        let mut shrunk_to = None;
+                        loop {
+                            mlp.refresh(&snapshot);
+                            let (x, labels) = dataset.batch(range.start, range.start + len);
+                            let eta = train.lr_scaling.eta(train.lr, len);
+                            match mlp.train_step(&x, labels.as_targets(), eta) {
+                                Ok(_) => break,
+                                Err(e) if len > 1 => {
+                                    len /= 2;
+                                    shrunk_to = Some(len);
+                                    let _ = e;
+                                }
+                                Err(e) => {
+                                    return Err(WorkerError::Oom(format!(
+                                        "single-example step failed: {e}"
+                                    )));
+                                }
+                            }
+                        }
+                        let leftover = (len < range.len()).then_some(BatchRange {
+                            start: range.start + len,
+                            end: range.end,
+                            epoch: range.epoch,
+                        });
+                        // Merge the replica's delta into the global model
+                        // without clobbering concurrent CPU updates. §VI-B:
+                        // the delta is discounted by how stale its base
+                        // snapshot became while the device was computing.
+                        let staleness = shared.update_count().saturating_sub(updates_at_snapshot);
+                        let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
+                        let replica = mlp.download();
+                        shared.merge_delta_scaled(&snapshot, &replica, scale);
+                        let busy_end = t0.elapsed().as_secs_f64();
+                        batches_done += 1;
+                        if sink.enabled() {
+                            sink.emit(
+                                slot as u32,
+                                EventKind::ModelMerge {
+                                    scale: scale as f64,
+                                },
+                            );
+                            sink.emit(
+                                slot as u32,
+                                EventKind::BatchCompleted {
+                                    batch: len,
+                                    updates: 1,
+                                },
+                            );
+                        }
+                        let sent = tx.send(WorkerMsg::Ready(Ready {
                             worker: slot,
                             updates: 1.0,
-                            examples: range.len() as u64,
+                            examples: len as u64,
                             busy_start,
                             busy_end,
-                            batch: range.len(),
-                        })
-                        .is_err()
-                    {
-                        break;
+                            batch: len,
+                            shrunk_to,
+                            leftover,
+                        }));
+                        if sent.is_err() {
+                            break; // coordinator gone: nothing left to tell
+                        }
                     }
-                }
-                mlp.destroy();
+                    Ok(())
+                    // `mlp` (and its device buffers) drop here — and on any
+                    // unwind path above, via GpuMlp's Drop impl.
+                };
+                report_worker_exit(slot, catch_unwind(AssertUnwindSafe(body)), &tx);
             })
             .expect("spawn gpu worker")
     }
@@ -484,9 +717,24 @@ impl ThreadedEngine {
     }
 }
 
-/// Re-exported for worker-side label handling in tests.
-pub(crate) fn _labels_len(l: &Labels) -> usize {
-    l.len()
+/// Convert a worker body's exit into a [`WorkerMsg::Fault`] when it did not
+/// end cleanly. A clean exit (coordinator said Stop, or the schedule ran
+/// dry) sends nothing.
+fn report_worker_exit(
+    slot: usize,
+    exit: std::thread::Result<Result<(), WorkerError>>,
+    tx: &Sender<WorkerMsg>,
+) {
+    let error = match exit {
+        Ok(Ok(())) => return,
+        Ok(Err(e)) => e,
+        Err(payload) => WorkerError::Panic(panic_message(&*payload)),
+    };
+    // If the coordinator is already gone there is nobody left to tell.
+    let _ = tx.send(WorkerMsg::Fault {
+        worker: slot,
+        error,
+    });
 }
 
 #[cfg(test)]
@@ -536,6 +784,7 @@ mod tests {
             cpu_threads: 4,
             gpu_perf: GpuModel::v100(),
             gpu_workers: 1,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -612,6 +861,12 @@ mod tests {
                     assert!(scale > 0.0 && scale <= 1.0);
                     merges += 1;
                 }
+                EventKind::WorkerFault { ref reason } | EventKind::WorkerRetired { ref reason } => {
+                    panic!("fault-free run traced a fault: {reason}")
+                }
+                EventKind::BatchRequeued { .. } => {
+                    panic!("fault-free run re-queued a batch")
+                }
                 _ => {}
             }
         }
@@ -636,6 +891,10 @@ mod tests {
                 > 0.0
         );
         assert_eq!(counters.get("engine.beta"), Some(&1.0));
+        // Fault-free run: supervision counters must stay untouched.
+        assert_eq!(r.requeued_batches, 0);
+        assert!(r.aborted.is_none());
+        assert!(r.workers.iter().all(|w| w.retired.is_none()));
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub mod config;
 pub mod engine_ps;
 pub mod engine_sim;
 pub mod engine_threads;
+mod eval;
+pub mod fault;
 pub mod metrics;
 pub mod svrg;
 
@@ -49,5 +51,6 @@ pub use config::{AdaptiveParams, AlgorithmKind, LrScaling, TrainConfig};
 pub use engine_ps::{NetworkModel, PsEngine, PsEngineConfig};
 pub use engine_sim::{SimEngine, SimEngineConfig};
 pub use engine_threads::{ThreadedEngine, ThreadedEngineConfig};
+pub use fault::{FaultKind, FaultPlan, WorkerError};
 pub use metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
 pub use svrg::{train_sgd_baseline, train_svrg, SvrgConfig};

@@ -44,6 +44,10 @@ pub struct WorkerStats {
     pub examples: u64,
     /// Final batch size when training stopped (shows adaptation).
     pub final_batch: usize,
+    /// Why this worker was quarantined mid-run, if it was (`"oom"`,
+    /// `"panic"`, `"disconnected"`, or an injected-fault description).
+    /// `None` for a worker that survived to the end.
+    pub retired: Option<String>,
     /// Busy-interval record for utilization plots.
     #[serde(skip)]
     pub timeline: UtilizationTimeline,
@@ -58,6 +62,7 @@ impl WorkerStats {
             batches: 0,
             examples: 0,
             final_batch: 0,
+            retired: None,
             timeline: UtilizationTimeline::new(),
         }
     }
@@ -81,6 +86,13 @@ pub struct TrainResult {
     /// Path of the exported trace file, when the caller ran with tracing
     /// attached and wrote one (e.g. `hetero-train --trace`).
     pub trace_path: Option<String>,
+    /// Batch ranges that were dispatched, lost to a worker fault, and
+    /// re-queued to a surviving worker. Zero on a fault-free run.
+    pub requeued_batches: u64,
+    /// Set when training could not run to its budget — e.g. every worker
+    /// was retired by faults. The run still returns whatever progress was
+    /// made; this records why it stopped short.
+    pub aborted: Option<String>,
 }
 
 impl TrainResult {
@@ -198,6 +210,7 @@ mod tests {
                     batches: 10,
                     examples: 560,
                     final_batch: 56,
+                    retired: None,
                     timeline: UtilizationTimeline::new(),
                 },
                 WorkerStats {
@@ -206,12 +219,15 @@ mod tests {
                     batches: 100,
                     examples: 819_200,
                     final_batch: 8192,
+                    retired: None,
                     timeline: UtilizationTimeline::new(),
                 },
             ],
             duration: 3.0,
             epochs: 1.5,
             trace_path: None,
+            requeued_batches: 0,
+            aborted: None,
         }
     }
 
@@ -263,6 +279,8 @@ mod tests {
             duration: 0.0,
             epochs: 0.0,
             trace_path: None,
+            requeued_batches: 0,
+            aborted: None,
         };
         assert_eq!(r.min_loss(), f32::INFINITY);
         assert_eq!(r.cpu_update_fraction(), 0.0);

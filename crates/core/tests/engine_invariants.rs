@@ -2,7 +2,8 @@
 //! across algorithms and seeds.
 
 use hetero_core::{
-    AdaptiveParams, AlgorithmKind, LrScaling, SimEngine, SimEngineConfig, TrainConfig, WorkerKind,
+    AdaptiveParams, AlgorithmKind, FaultPlan, LrScaling, SimEngine, SimEngineConfig, TrainConfig,
+    WorkerKind,
 };
 use hetero_data::SynthConfig;
 use hetero_nn::MlpSpec;
@@ -67,6 +68,7 @@ fn config(algo: AlgorithmKind, seed: u64) -> SimEngineConfig {
         gpus: vec![gpu],
         tf_op_overhead: 20e-6,
         tf_multilabel_penalty: 3.0,
+        fault_plan: FaultPlan::none(),
     }
 }
 

@@ -44,6 +44,12 @@ struct Inner {
     used: u64,
     peak: u64,
     next_id: u64,
+    /// Allocation attempts so far (successful or not) — the index space
+    /// fault injection targets.
+    attempts: u64,
+    /// Allocation indices forced to fail with OOM (deterministic fault
+    /// injection for supervision tests). Each index fires once.
+    forced_oom: Vec<u64>,
 }
 
 /// Thread-safe tracked memory pool for one device.
@@ -70,15 +76,41 @@ impl DeviceMemory {
                 used: 0,
                 peak: 0,
                 next_id: 1,
+                attempts: 0,
+                forced_oom: Vec::new(),
             }),
             bytes_gauge,
         }
+    }
+
+    /// Force the `n`th allocation attempt (0-based, counted from device
+    /// creation, successful or not) to fail with [`OomError`]. Each
+    /// injected index fires at most once; already-elapsed indices never
+    /// fire. This is the deterministic hook supervision tests use to
+    /// exercise OOM paths without sizing real capacities.
+    pub fn inject_oom_at(&self, n: u64) {
+        self.inner.lock().forced_oom.push(n);
+    }
+
+    /// Allocation attempts made so far (successful or not).
+    pub fn alloc_attempts(&self) -> u64 {
+        self.inner.lock().attempts
     }
 
     /// Allocate a zero-initialized buffer of `len` f32 elements.
     pub fn alloc(&self, len: usize) -> Result<BufferId, OomError> {
         let bytes = 4 * len as u64;
         let mut inner = self.inner.lock();
+        let attempt = inner.attempts;
+        inner.attempts += 1;
+        if let Some(slot) = inner.forced_oom.iter().position(|&n| n == attempt) {
+            inner.forced_oom.swap_remove(slot);
+            return Err(OomError {
+                requested: bytes,
+                used: inner.used,
+                capacity: self.capacity,
+            });
+        }
         if inner.used + bytes > self.capacity {
             return Err(OomError {
                 requested: bytes,
@@ -227,6 +259,28 @@ mod tests {
         let a = mem.alloc(16).unwrap();
         assert!(mem.get(a).read().iter().all(|&v| v == 0.0));
         assert_eq!(mem.len(a), 16);
+    }
+
+    #[test]
+    fn injected_oom_fires_once_at_target_index() {
+        let mem = DeviceMemory::new(1 << 20);
+        mem.inject_oom_at(1);
+        let a = mem.alloc(8).unwrap(); // attempt 0: fine
+        let err = mem.alloc(8).unwrap_err(); // attempt 1: injected
+        assert_eq!(err.requested, 32);
+        assert!(mem.alloc(8).is_ok()); // attempt 2: injection consumed
+        assert_eq!(mem.alloc_attempts(), 3);
+        mem.free(a).unwrap();
+    }
+
+    #[test]
+    fn injected_oom_in_the_past_never_fires() {
+        let mem = DeviceMemory::new(1 << 20);
+        let _ = mem.alloc(4).unwrap();
+        mem.inject_oom_at(0); // attempt 0 already elapsed
+        for _ in 0..4 {
+            assert!(mem.alloc(4).is_ok());
+        }
     }
 
     #[test]

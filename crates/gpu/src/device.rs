@@ -131,6 +131,13 @@ impl GpuDevice {
         &self.mem
     }
 
+    /// Force the `n`th allocation attempt on this device to fail with OOM
+    /// (see [`DeviceMemory::inject_oom_at`]). Deterministic fault injection
+    /// for supervision tests.
+    pub fn inject_oom_at(&self, n: u64) {
+        self.mem.inject_oom_at(n);
+    }
+
     /// The performance model.
     pub fn perf(&self) -> &GpuModel {
         &self.perf

@@ -41,11 +41,22 @@ impl<'d> GpuMlp<'d> {
         let mut biases = Vec::new();
         let mut grad_w = Vec::new();
         let mut grad_b = Vec::new();
-        for layer in model.layers() {
-            weights.push(device.h2d(layer.w.as_slice())?);
-            biases.push(device.h2d(&layer.b)?);
-            grad_w.push(device.mem().alloc(layer.w.len())?);
-            grad_b.push(device.mem().alloc(layer.b.len())?);
+        // On a mid-upload OOM, free what was already allocated so a failed
+        // upload leaves device memory exactly as it found it.
+        let mut step = || -> Result<(), OomError> {
+            for layer in model.layers() {
+                weights.push(device.h2d(layer.w.as_slice())?);
+                biases.push(device.h2d(&layer.b)?);
+                grad_w.push(device.mem().alloc(layer.w.len())?);
+                grad_b.push(device.mem().alloc(layer.b.len())?);
+            }
+            Ok(())
+        };
+        if let Err(e) = step() {
+            for b in weights.iter().chain(&biases).chain(&grad_w).chain(&grad_b) {
+                let _ = device.mem().free(*b);
+            }
+            return Err(e);
         }
         Ok(GpuMlp {
             device,
@@ -225,16 +236,24 @@ impl<'d> GpuMlp<'d> {
         Ok(batch_loss)
     }
 
-    /// Free all device allocations.
-    pub fn destroy(self) {
+    /// Free all device allocations now (dropping has the same effect; this
+    /// just makes the release point explicit at call sites).
+    pub fn destroy(self) {}
+}
+
+impl Drop for GpuMlp<'_> {
+    /// Return every parameter and workspace buffer to the device pool, even
+    /// when the replica goes away on an unwind path (a quarantined worker
+    /// must not strand its memory).
+    fn drop(&mut self) {
         for b in self
             .weights
-            .iter()
-            .chain(&self.biases)
-            .chain(&self.grad_w)
-            .chain(&self.grad_b)
+            .drain(..)
+            .chain(self.biases.drain(..))
+            .chain(self.grad_w.drain(..))
+            .chain(self.grad_b.drain(..))
         {
-            let _ = self.device.mem().free(*b);
+            let _ = self.device.mem().free(b);
         }
     }
 }
@@ -343,6 +362,39 @@ mod tests {
         assert!(r.is_err(), "expected OOM");
         assert_eq!(dev.mem().used_bytes(), base, "leak after failed step");
         gpu.destroy();
+    }
+
+    #[test]
+    fn drop_frees_device_memory() {
+        let dev = GpuDevice::v100();
+        {
+            let _gpu = GpuMlp::upload(&dev, &host_model()).unwrap();
+            assert!(dev.mem().used_bytes() > 0);
+        }
+        assert_eq!(dev.mem().used_bytes(), 0);
+        assert_eq!(dev.mem().live_buffers(), 0);
+    }
+
+    #[test]
+    fn drop_frees_on_unwind() {
+        let dev = GpuDevice::v100();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gpu = GpuMlp::upload(&dev, &host_model()).unwrap();
+            panic!("simulated worker death");
+        }));
+        assert!(r.is_err());
+        assert_eq!(dev.mem().used_bytes(), 0, "unwind stranded buffers");
+    }
+
+    #[test]
+    fn failed_upload_leaves_no_allocations() {
+        let dev = GpuDevice::v100();
+        // Fail partway through: the first few buffers succeed, then OOM.
+        dev.inject_oom_at(3);
+        let err = GpuMlp::upload(&dev, &host_model());
+        assert!(err.is_err(), "expected injected OOM");
+        assert_eq!(dev.mem().used_bytes(), 0, "partial upload leaked");
+        assert_eq!(dev.mem().live_buffers(), 0);
     }
 
     #[test]

@@ -19,6 +19,15 @@ use crate::queue::MpscQueue;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+impl<T> SendError<T> {
+    /// Recover the message that could not be delivered, so the caller can
+    /// re-queue it elsewhere (the coordinator does this when a worker dies
+    /// with a batch in flight).
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
 impl<T> std::fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "send on a channel with no receiver")
@@ -179,6 +188,13 @@ impl<T: Send> Sender<T> {
     /// Number of live senders (including this one).
     pub fn sender_count(&self) -> usize {
         self.shared.senders.load(Ordering::Relaxed)
+    }
+
+    /// Whether the receiving half has been dropped. A `true` here means
+    /// every future [`Sender::send`] will fail — supervision code can use
+    /// this to detect a dead peer without consuming a message.
+    pub fn is_disconnected(&self) -> bool {
+        !self.shared.receiver_alive.load(Ordering::Acquire)
     }
 
     /// Approximate number of queued messages (see [`MpscQueue::len`]).
@@ -389,8 +405,12 @@ mod tests {
     #[test]
     fn send_to_dropped_receiver_fails() {
         let (tx, rx) = channel();
+        assert!(!tx.is_disconnected());
         drop(rx);
-        assert_eq!(tx.send(5), Err(SendError(5)));
+        assert!(tx.is_disconnected());
+        let err = tx.send(5).unwrap_err();
+        assert_eq!(err, SendError(5));
+        assert_eq!(err.into_inner(), 5);
     }
 
     #[test]

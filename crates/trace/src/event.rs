@@ -87,6 +87,24 @@ pub enum EventKind {
         /// Training loss at this point.
         loss: f64,
     },
+    /// A worker reported a fault (device OOM it could not recover from, a
+    /// caught panic, or a dead channel) to the coordinator.
+    WorkerFault {
+        /// Human-readable fault description.
+        reason: String,
+    },
+    /// The coordinator quarantined a worker: its slot is inactive for the
+    /// rest of the run and its in-flight work was re-queued.
+    WorkerRetired {
+        /// Why the worker was retired.
+        reason: String,
+    },
+    /// An in-flight batch range was returned to the dispatch queue (its
+    /// worker died, or an OOM retry shrank the step and left a tail).
+    BatchRequeued {
+        /// Examples in the re-queued range.
+        batch: usize,
+    },
 }
 
 impl EventKind {
@@ -95,7 +113,9 @@ impl EventKind {
         match self {
             EventKind::BatchDispatched { .. }
             | EventKind::BatchCompleted { .. }
-            | EventKind::BatchResized { .. } => "batch",
+            | EventKind::BatchResized { .. }
+            | EventKind::BatchRequeued { .. } => "batch",
+            EventKind::WorkerFault { .. } | EventKind::WorkerRetired { .. } => "fault",
             EventKind::QueuePushed { .. } | EventKind::QueuePopped { .. } => "queue",
             EventKind::H2d { .. } | EventKind::D2h { .. } => "transfer",
             EventKind::KernelLaunched { .. } => "kernel",

@@ -238,6 +238,30 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     vec![args(vec![("loss", Value::F64(*loss))])],
                 ));
             }
+            EventKind::WorkerFault { reason } => {
+                events.push(instant(
+                    "worker_fault",
+                    "fault",
+                    event,
+                    vec![("reason", Value::Str(reason.clone()))],
+                ));
+            }
+            EventKind::WorkerRetired { reason } => {
+                events.push(instant(
+                    "worker_retired",
+                    "fault",
+                    event,
+                    vec![("reason", Value::Str(reason.clone()))],
+                ));
+            }
+            EventKind::BatchRequeued { batch } => {
+                events.push(instant(
+                    "batch_requeued",
+                    "batch",
+                    event,
+                    vec![("batch", Value::U64(*batch as u64))],
+                ));
+            }
         }
     }
 

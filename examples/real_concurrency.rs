@@ -69,6 +69,7 @@ fn main() {
             cpu_threads: threads,
             gpu_perf: GpuModel::v100(),
             gpu_workers: 1,
+            fault_plan: FaultPlan::none(),
         };
         let engine = ThreadedEngine::new(cfg).unwrap();
         let r = engine.run(Arc::clone(&dataset));

@@ -195,6 +195,7 @@ fn main() {
                 cpu_threads: threads,
                 gpu_perf: GpuModel::v100(),
                 gpu_workers: 1,
+                fault_plan: FaultPlan::none(),
             })
             .unwrap_or_else(|e| {
                 eprintln!("config error: {e}");

@@ -54,9 +54,9 @@ pub use hetero_trace as trace;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use hetero_core::{
-        AdaptiveController, AdaptiveParams, AlgorithmKind, LossPoint, LrScaling, SimEngine,
-        SimEngineConfig, ThreadedEngine, ThreadedEngineConfig, TrainConfig, TrainResult,
-        WorkerKind,
+        AdaptiveController, AdaptiveParams, AlgorithmKind, FaultKind, FaultPlan, LossPoint,
+        LrScaling, SimEngine, SimEngineConfig, ThreadedEngine, ThreadedEngineConfig, TrainConfig,
+        TrainResult, WorkerError, WorkerKind,
     };
     pub use hetero_data::{BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig};
     pub use hetero_nn::{Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets};

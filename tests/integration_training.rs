@@ -68,6 +68,7 @@ fn sim_config(
         gpus: vec![gpu],
         tf_op_overhead: 20e-6,
         tf_multilabel_penalty: 3.0,
+        fault_plan: FaultPlan::none(),
     }
 }
 
@@ -161,6 +162,7 @@ fn both_engines_agree_on_update_accounting() {
         cpu_threads: 2,
         gpu_perf: GpuModel::v100(),
         gpu_workers: 1,
+        fault_plan: FaultPlan::none(),
     })
     .unwrap()
     .run(Arc::new(d));

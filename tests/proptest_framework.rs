@@ -97,6 +97,8 @@ proptest! {
             duration: 1.0,
             epochs: 1.0,
             trace_path: None,
+            requeued_batches: 0,
+            aborted: None,
         };
         let n = r.normalized_curve(basis);
         prop_assert!((n[0].loss - 3.0).abs() < 1e-3);
