@@ -7,11 +7,9 @@
 //! while the queue holds `capacity` messages, `try_send` fails fast.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Arc, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 
 pub use crate::channel::{RecvError, RecvTimeoutError, TryRecvError};
 
@@ -76,6 +74,8 @@ impl<T: Send> BoundedSender<T> {
     pub fn send(&self, value: T) -> Result<(), BoundedSendError<T>> {
         let mut q = self.shared.queue.lock();
         loop {
+            // Acquire: pairs with the receiver-drop Release store (as in the
+            // unbounded channel) so a failing send observes a settled close.
             if !self.shared.receiver_alive.load(Ordering::Acquire) {
                 return Err(BoundedSendError(value));
             }
@@ -91,6 +91,7 @@ impl<T: Send> BoundedSender<T> {
 
     /// Enqueue without blocking.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        // Acquire: same pairing as `send`.
         if !self.shared.receiver_alive.load(Ordering::Acquire) {
             return Err(TrySendError::Disconnected(value));
         }
@@ -122,6 +123,8 @@ impl<T: Send> BoundedSender<T> {
 
 impl<T> Clone for BoundedSender<T> {
     fn clone(&self) -> Self {
+        // Relaxed: clone from a live handle cannot race the count hitting
+        // zero (same argument as `Arc::clone`).
         self.shared.senders.fetch_add(1, Ordering::Relaxed);
         BoundedSender {
             shared: Arc::clone(&self.shared),
@@ -131,7 +134,15 @@ impl<T> Clone for BoundedSender<T> {
 
 impl<T> Drop for BoundedSender<T> {
     fn drop(&mut self) {
+        // AcqRel: Release orders this sender's queued messages before the
+        // decrement; Acquire on the final decrement pairs with the
+        // receiver's Acquire load of the count.
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Notify under the queue lock: otherwise the decrement+notify
+            // can land between a receiver's senders-check and its wait,
+            // losing the wakeup and deadlocking the receiver. Found by the
+            // loom suite (`sender_drop_wakes_blocked_bounded_receiver`).
+            let _q = self.shared.queue.lock();
             self.shared.not_empty.notify_all();
         }
     }
@@ -147,6 +158,8 @@ impl<T: Send> BoundedReceiver<T> {
                 self.shared.not_full.notify_one();
                 return Ok(v);
             }
+            // Acquire: pairs with the AcqRel decrement in the sender drop —
+            // zero means every sender's last push is already in the queue.
             if self.shared.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvError);
             }
@@ -162,6 +175,7 @@ impl<T: Send> BoundedReceiver<T> {
             self.shared.not_full.notify_one();
             return Ok(v);
         }
+        // Acquire: same pairing as `recv`.
         if self.shared.senders.load(Ordering::Acquire) == 0 {
             Err(TryRecvError::Disconnected)
         } else {
@@ -179,6 +193,7 @@ impl<T: Send> BoundedReceiver<T> {
                 self.shared.not_full.notify_one();
                 return Ok(v);
             }
+            // Acquire: same pairing as `recv`.
             if self.shared.senders.load(Ordering::Acquire) == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
@@ -203,12 +218,17 @@ impl<T: Send> BoundedReceiver<T> {
 
 impl<T> Drop for BoundedReceiver<T> {
     fn drop(&mut self) {
+        // Release: pairs with the senders' Acquire loads of the flag.
         self.shared.receiver_alive.store(false, Ordering::Release);
+        // Notify under the queue lock so the close cannot slip between a
+        // blocked sender's alive-check and its wait (lost wakeup — found by
+        // the loom suite, `receiver_drop_unblocks_blocked_bounded_sender`).
+        let _q = self.shared.queue.lock();
         self.shared.not_full.notify_all();
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::thread;

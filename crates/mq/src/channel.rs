@@ -6,14 +6,12 @@
 //! is empty — the classic "eventcount-lite" pattern from *Rust Atomics and
 //! Locks*: producers take the lock only to wake a parked consumer.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use hetero_trace::{CounterHandle, EventKind, GaugeHandle, TraceSink};
-use parking_lot::{Condvar, Mutex};
 
 use crate::queue::MpscQueue;
+use crate::sync::{Arc, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 
 /// Error returned by [`Sender::send`] when the receiver is gone.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +163,9 @@ fn channel_with_trace<T: Send>(trace: ChannelTrace) -> (Sender<T>, Receiver<T>) 
 impl<T: Send> Sender<T> {
     /// Enqueue a message, waking the receiver if it is parked.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        // Acquire: pairs with the receiver-drop Release store so a sender
+        // that observes the flag also observes everything the receiver did
+        // before dropping.
         if !self.shared.receiver_alive.load(Ordering::Acquire) {
             return Err(SendError(value));
         }
@@ -187,6 +188,7 @@ impl<T: Send> Sender<T> {
 
     /// Number of live senders (including this one).
     pub fn sender_count(&self) -> usize {
+        // Relaxed: informational snapshot; no memory is guarded by it.
         self.shared.senders.load(Ordering::Relaxed)
     }
 
@@ -194,6 +196,7 @@ impl<T: Send> Sender<T> {
     /// every future [`Sender::send`] will fail — supervision code can use
     /// this to detect a dead peer without consuming a message.
     pub fn is_disconnected(&self) -> bool {
+        // Acquire: same pairing as in `send`.
         !self.shared.receiver_alive.load(Ordering::Acquire)
     }
 
@@ -210,6 +213,8 @@ impl<T: Send> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        // Relaxed: like `Arc::clone`, incrementing from an existing handle
+        // needs no ordering — the clone cannot race the count reaching zero.
         self.shared.senders.fetch_add(1, Ordering::Relaxed);
         Sender {
             shared: Arc::clone(&self.shared),
@@ -219,6 +224,10 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
+        // AcqRel: Release orders this sender's queue pushes before the
+        // decrement; Acquire on the last decrement makes every other
+        // sender's pushes visible to the receiver's disconnect check (which
+        // Acquire-loads the count). Same protocol as `Arc`'s refcount.
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender: wake the receiver so it can observe disconnection.
             let _guard = self.shared.sleep_lock.lock();
@@ -248,6 +257,9 @@ impl<T: Send> Receiver<T> {
                 Ok(v)
             }
             None => {
+                // Acquire: pairs with the AcqRel decrement in Sender::drop —
+                // observing zero means every sender's final pushes are
+                // visible, so the re-check below is conclusive.
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     // Re-check: a message may have been pushed before the
                     // last sender dropped.
@@ -352,12 +364,15 @@ impl<T: Send> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
+        // Release: pairs with the senders' Acquire loads so a sender that
+        // sees the channel closed also sees the receiver's final state.
         self.shared.receiver_alive.store(false, Ordering::Release);
     }
 }
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Relaxed: debug snapshot only.
         f.debug_struct("Sender")
             .field("senders", &self.shared.senders.load(Ordering::Relaxed))
             .finish()
@@ -370,7 +385,7 @@ impl<T> std::fmt::Debug for Receiver<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::thread;

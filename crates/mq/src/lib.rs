@@ -22,12 +22,19 @@
 //! (on the swap and the `next` store) and the consumer observes it with
 //! `Acquire`, establishing the happens-before edge that makes the payload
 //! visible.
+//!
+//! Those claims are model-checked: building with `--features loom` swaps
+//! every primitive (via [`mod@sync`]) for the vendored loom checker, and the
+//! suites in `tests/loom_*.rs` exhaustively explore the interleavings of
+//! push/pop, the close/disconnect protocol, and the sleep/wake handshake.
+//! See DESIGN.md §4e.
 
 #![warn(missing_docs)]
 
 pub mod bounded;
 pub mod channel;
 pub mod queue;
+pub mod sync;
 
 pub use bounded::{bounded, BoundedReceiver, BoundedSender};
 pub use channel::{

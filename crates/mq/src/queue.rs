@@ -10,20 +10,42 @@
 //! Safety model: only the consumer pops, so a popped node has no other
 //! reader and can be dropped immediately. `Send`/`Sync` bounds require
 //! `T: Send` since payloads cross threads.
+//!
+//! All primitives come from [`crate::sync`], so `--features loom` model-checks
+//! this file's interleavings (see `crates/mq/tests/loom_queue.rs`); the node
+//! payload lives in a [`sync::UnsafeCell`] so the checker race-checks the
+//! non-atomic value handoff, not just the pointers.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::sync::{self, AtomicPtr, AtomicUsize, Ordering};
+
+/// Memory ordering of the producer's `next`-pointer store — the store that
+/// *publishes* a node (and its payload) to the consumer. Must be `Release`:
+/// the consumer's `Acquire` load of `next` synchronizes with it, ordering the
+/// payload write before the consumer's read.
+///
+/// Building with `RUSTFLAGS="--cfg hetero_weak_publish"` weakens this to
+/// `Relaxed` — an intentional seeded bug that the loom suite must catch
+/// (`scripts/check_mutation.sh` asserts the failure). Never set in real
+/// builds.
+#[cfg(not(hetero_weak_publish))]
+const PUBLISH_ORD: Ordering = Ordering::Release;
+#[cfg(hetero_weak_publish)]
+const PUBLISH_ORD: Ordering = Ordering::Relaxed;
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
-    value: Option<T>,
+    /// Payload; written by exactly one producer before the node is published,
+    /// taken by the unique consumer after it observes the publish store.
+    value: sync::UnsafeCell<Option<T>>,
 }
 
 impl<T> Node<T> {
     fn new(value: Option<T>) -> *mut Node<T> {
         Box::into_raw(Box::new(Node {
             next: AtomicPtr::new(ptr::null_mut()),
-            value,
+            value: sync::UnsafeCell::new(value),
         }))
     }
 }
@@ -57,7 +79,14 @@ pub struct MpscQueue<T> {
     depth: AtomicUsize,
 }
 
+// SAFETY: producers only touch `tail`/`depth` (atomics) and nodes they
+// allocated but have not yet published; the unique consumer owns `head` and
+// every node it reaches through an Acquire-loaded `next`, so no node is ever
+// accessed mutably from two threads at once. `T: Send` because values cross
+// from producer to consumer threads.
 unsafe impl<T: Send> Send for MpscQueue<T> {}
+// SAFETY: as above — `&MpscQueue` exposes `push` to any thread, and the
+// single-consumer contract on `pop` is upheld by the channel wrapper.
 unsafe impl<T: Send> Sync for MpscQueue<T> {}
 
 impl<T> MpscQueue<T> {
@@ -73,15 +102,25 @@ impl<T> MpscQueue<T> {
 
     /// Enqueue a value. Safe to call from any number of threads concurrently.
     pub fn push(&self, value: T) {
+        // Relaxed: `depth` is a monitoring counter with no ordering role; it
+        // never gates memory access (see field docs for the no-underflow
+        // argument).
         self.depth.fetch_add(1, Ordering::Relaxed);
         let node = Node::new(Some(value));
-        // Swap ourselves in as the new tail; Release publishes the node's
-        // payload to whoever later observes the pointer.
+        // AcqRel swap: Release so our node's initialization (payload write,
+        // null `next`) is published to the producer that swaps after us and
+        // will link behind our node; Acquire so we see the previous
+        // producer's node initialization before storing into its `next`.
         let prev = self.tail.swap(node, Ordering::AcqRel);
         // Link the old tail to us. Until this store lands, the consumer may
-        // see the queue as Inconsistent.
+        // see the queue as Inconsistent. PUBLISH_ORD is `Release` (pairs with
+        // the consumer's Acquire load of `next`): it publishes the payload.
+        // SAFETY: `prev` came from the tail swap, so it is a live node —
+        // either the stub or a node some producer fully allocated. Nodes are
+        // only freed by the consumer *after* it observes a non-null `next`,
+        // i.e. after this very store, so `prev` cannot have been freed yet.
         unsafe {
-            (*prev).next.store(node, Ordering::Release);
+            (*prev).next.store(node, PUBLISH_ORD);
         }
     }
 
@@ -92,23 +131,41 @@ impl<T> MpscQueue<T> {
     /// channel wrapper upholds this. Calling it concurrently from multiple
     /// threads is a logic error that this type does not detect.
     pub fn pop(&self) -> Pop<T> {
-        unsafe {
-            let head = self.head.load(Ordering::Relaxed);
-            let next = (*head).next.load(Ordering::Acquire);
-            if !next.is_null() {
-                // Advance head; the old head (stub or consumed node) dies here.
-                self.head.store(next, Ordering::Relaxed);
-                let value = (*next).value.take().expect("non-stub node has a value");
-                drop(Box::from_raw(head));
-                self.depth.fetch_sub(1, Ordering::Relaxed);
-                return Pop::Data(value);
-            }
-            if self.tail.load(Ordering::Acquire) == head {
-                Pop::Empty
-            } else {
-                // A producer swapped tail but hasn't linked `next` yet.
-                Pop::Inconsistent
-            }
+        // Relaxed: `head` is consumer-private state; no other thread reads
+        // or writes it, so the load needs no ordering.
+        let head = self.head.load(Ordering::Relaxed);
+        // Acquire: pairs with the producer's PUBLISH_ORD (Release) store,
+        // making the node payload visible before we take it below.
+        // SAFETY: `head` is the stub or the last node we consumed; both stay
+        // alive until the consumer frees them further down — no other thread
+        // frees nodes.
+        let next = unsafe { (*head).next.load(Ordering::Acquire) };
+        if !next.is_null() {
+            // Advance head; the old head (stub or consumed node) dies here.
+            // Relaxed: consumer-private store, same as the load above.
+            self.head.store(next, Ordering::Relaxed);
+            // SAFETY: `next` was published by a producer's Release store and
+            // observed by our Acquire load, so its payload write
+            // happens-before this read; the single-consumer contract means
+            // nobody else takes it.
+            let value = unsafe { (*next).value.with_mut(|v| (*v).take()) }
+                .expect("non-stub node has a value");
+            // SAFETY: `head` is no longer reachable — `self.head` now points
+            // past it, producers only ever append at tail, and we are the
+            // unique consumer — so this is the last reference to the node.
+            unsafe { drop(Box::from_raw(head)) };
+            // Relaxed: monitoring counter, see `push`.
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Pop::Data(value);
+        }
+        // Acquire: order this tail check after the `next` load so that a
+        // null `next` plus `tail == head` reliably means "empty", not "we
+        // read a stale tail from before a push".
+        if self.tail.load(Ordering::Acquire) == head {
+            Pop::Empty
+        } else {
+            // A producer swapped tail but hasn't linked `next` yet.
+            Pop::Inconsistent
         }
     }
 
@@ -120,7 +177,7 @@ impl<T> MpscQueue<T> {
             match self.pop() {
                 Pop::Data(v) => return Some(v),
                 Pop::Empty => return None,
-                Pop::Inconsistent => std::hint::spin_loop(),
+                Pop::Inconsistent => crate::sync::hint::spin_loop(),
             }
         }
     }
@@ -129,13 +186,21 @@ impl<T> MpscQueue<T> {
     /// over-report a push that has bumped the counter but not yet linked
     /// its node; never underflows.
     pub fn len(&self) -> usize {
+        // Relaxed: monitoring counter, see `push`.
         self.depth.load(Ordering::Relaxed)
     }
 
     /// Best-effort emptiness check (exact only when quiescent).
     pub fn is_empty(&self) -> bool {
+        // Relaxed: consumer-private pointer (or racy snapshot when called
+        // from a producer — documented best-effort).
         let head = self.head.load(Ordering::Relaxed);
+        // Acquire: same pairing as `pop` — see a published node if there is
+        // one. SAFETY: `head` stays alive as in `pop`; callers other than
+        // the consumer only ever dereference the stub/last-consumed node,
+        // which the consumer frees only after advancing `head`.
         let next_null = unsafe { (*head).next.load(Ordering::Acquire).is_null() };
+        // Acquire: order the tail check after the `next` load, as in `pop`.
         next_null && self.tail.load(Ordering::Acquire) == head
     }
 }
@@ -148,18 +213,25 @@ impl<T> Default for MpscQueue<T> {
 
 impl<T> Drop for MpscQueue<T> {
     fn drop(&mut self) {
-        // Drain remaining nodes, then free the stub.
+        // `&mut self` proves no producer or consumer is live, so pop_spin
+        // can never observe a mid-publish window here and the drain
+        // terminates. Every pushed-but-unpopped node is freed by pop_spin
+        // (payload dropped with it); the stub/last-consumed node is the one
+        // `head` still points at, freed below.
         while let Some(v) = self.pop_spin() {
             drop(v);
         }
+        // Relaxed: `&mut self` exclusivity — no concurrent accessor exists.
         let head = self.head.load(Ordering::Relaxed);
+        // SAFETY: after the drain `head == tail`, and exclusivity (`&mut
+        // self`) means nobody else can free or reach this final node.
         unsafe {
             drop(Box::from_raw(head));
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -230,7 +302,7 @@ mod tests {
     fn stress_many_producers() {
         let q = Arc::new(MpscQueue::new());
         let producers = 8;
-        let per = 5000usize;
+        let per = if cfg!(miri) { 200usize } else { 5000usize };
         let handles: Vec<_> = (0..producers)
             .map(|_| {
                 let q = Arc::clone(&q);
@@ -261,7 +333,7 @@ mod tests {
     fn len_tracks_depth_under_concurrent_producers() {
         let q = Arc::new(MpscQueue::new());
         let producers = 4;
-        let per = 2000usize;
+        let per = if cfg!(miri) { 100usize } else { 2000usize };
         let handles: Vec<_> = (0..producers)
             .map(|_| {
                 let q = Arc::clone(&q);

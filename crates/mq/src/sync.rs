@@ -1,0 +1,66 @@
+//! Synchronization-primitive facade for this crate.
+//!
+//! Every atomic, mutex, condvar, `Arc`, spin hint, and race-checked cell used
+//! by the queue and channels is imported from here rather than from
+//! `std`/`parking_lot` directly. In normal builds the re-exports are zero-cost
+//! aliases of the real primitives; under `--features loom` they swap to the
+//! vendored loom model checker, which serializes threads, explores
+//! interleavings, and verifies the happens-before relation of every access
+//! (see `shims/loom` and DESIGN.md §4e).
+//!
+//! Rules for code in this crate:
+//! - never `use std::sync::atomic::...` / `parking_lot::...` directly;
+//! - wrap non-atomic data shared across threads in [`UnsafeCell`] so the
+//!   model checker can see (and race-check) the accesses;
+//! - spin with [`hint::spin_loop`], which becomes a scheduler yield under
+//!   loom instead of a livelock.
+
+#[cfg(feature = "loom")]
+pub use loom::cell::UnsafeCell;
+#[cfg(feature = "loom")]
+pub use loom::hint;
+#[cfg(feature = "loom")]
+pub use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(feature = "loom")]
+pub use loom::sync::{Arc, Condvar, Mutex};
+
+#[cfg(not(feature = "loom"))]
+pub use parking_lot::{Condvar, Mutex};
+#[cfg(not(feature = "loom"))]
+pub use std::hint;
+#[cfg(not(feature = "loom"))]
+pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(feature = "loom"))]
+pub use std::sync::Arc;
+
+/// Interior-mutability cell with loom's closure-based access API.
+///
+/// In normal builds this is a transparent wrapper over
+/// [`std::cell::UnsafeCell`] — `with`/`with_mut` compile down to a bare
+/// pointer handoff. Under `--features loom` the loom version is used instead,
+/// which treats every access as a scheduling point and panics on any
+/// read/write or write/write pair not ordered by happens-before.
+#[cfg(not(feature = "loom"))]
+#[derive(Debug)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(feature = "loom"))]
+impl<T> UnsafeCell<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Immutable access through a raw pointer.
+    ///
+    /// The caller must uphold the same aliasing rules as
+    /// [`std::cell::UnsafeCell::get`]; the loom build verifies them.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Mutable access through a raw pointer (same contract as [`Self::with`]).
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}

@@ -1,5 +1,10 @@
 //! Property and stress tests for the message-queue substrate.
 
+// Under `--features loom` the crate's primitives require a model-checker
+// context; these std-thread tests are compiled out (the loom_*.rs suites
+// cover the same protocols exhaustively).
+#![cfg(not(feature = "loom"))]
+
 use std::sync::Arc;
 use std::thread;
 

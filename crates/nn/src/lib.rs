@@ -32,6 +32,7 @@ pub mod optim;
 pub mod shared;
 pub mod sparse_input;
 pub mod spec;
+pub mod sync;
 
 pub use activation::Activation;
 pub use backward::{backward, loss_and_gradient, Gradient};

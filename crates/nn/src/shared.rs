@@ -17,10 +17,18 @@
 //!   update is ever lost. Used to study the effect of lost updates (the
 //!   paper's β parameter quantifies the "surviving fraction").
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-
 use crate::model::Model;
 use crate::spec::MlpSpec;
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
+
+// Ordering discipline for this file: every atomic access is `Relaxed`. The
+// parameters are pure numeric data — no worker ever uses a parameter value
+// to decide whether *other* memory is initialized, so no access needs to
+// publish or acquire anything. Lost updates (racy path) and interleaved
+// snapshots are tolerated by the Hogwild design; what Rust requires is only
+// that the accesses be atomic, not that they be ordered. The loom suite
+// (`tests/loom_shared.rs`) checks the CAS path loses nothing and the racy
+// path stays within its feasible envelope under all interleavings.
 
 /// Shared parameter store for concurrent SGD.
 pub struct SharedModel {
@@ -57,12 +65,15 @@ impl SharedModel {
 
     /// Total updates applied so far.
     pub fn update_count(&self) -> u64 {
+        // Relaxed: monitoring counter (see module ordering note above).
         self.updates.load(Ordering::Relaxed)
     }
 
     /// Read the current parameters into a flat vector (relaxed loads; the
     /// snapshot may interleave with concurrent updates — by design).
     pub fn read_flat(&self) -> Vec<f32> {
+        // Relaxed: snapshot may interleave with writers by design; each
+        // element is still read tear-free (see module ordering note).
         self.params
             .iter()
             .map(|p| f32::from_bits(p.load(Ordering::Relaxed)))
@@ -79,6 +90,8 @@ impl SharedModel {
     /// back; concurrent readers may observe a mix of old and new values).
     pub fn store(&self, model: &Model) {
         assert_eq!(model.spec(), &self.spec, "replica spec mismatch");
+        // Relaxed: overwrite is allowed to interleave with concurrent
+        // readers/writers (see module ordering note).
         for (p, v) in self.params.iter().zip(model.flatten()) {
             p.store(v.to_bits(), Ordering::Relaxed);
         }
@@ -91,6 +104,9 @@ impl SharedModel {
     pub fn apply_gradient_racy(&self, grad: &Model, eta: f32) {
         assert_eq!(grad.spec(), &self.spec, "gradient spec mismatch");
         let mut idx = 0;
+        // Relaxed load/store pairs: the non-atomic read-modify-write is the
+        // point — concurrent writers may overwrite each other (Hogwild
+        // lost-update semantics; module ordering note above).
         for layer in grad.layers() {
             for &g in layer.w.as_slice() {
                 let p = &self.params[idx];
@@ -100,11 +116,13 @@ impl SharedModel {
             }
             for &g in &layer.b {
                 let p = &self.params[idx];
+                // Relaxed: same racy Hogwild load/store as the weights above.
                 let cur = f32::from_bits(p.load(Ordering::Relaxed));
                 p.store((cur - eta * g).to_bits(), Ordering::Relaxed);
                 idx += 1;
             }
         }
+        // Relaxed: monitoring counter.
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -114,6 +132,9 @@ impl SharedModel {
         let mut idx = 0;
         let mut apply = |g: f32| {
             let p = &self.params[idx];
+            // Relaxed CAS loop: atomicity of each compare_exchange is what
+            // guarantees no lost update; ordering is irrelevant because the
+            // value is pure data (module ordering note above).
             let mut cur = p.load(Ordering::Relaxed);
             loop {
                 let next = (f32::from_bits(cur) - eta * g).to_bits();
@@ -128,6 +149,7 @@ impl SharedModel {
             layer.w.as_slice().iter().for_each(|&g| apply(g));
             layer.b.iter().for_each(|&g| apply(g));
         }
+        // Relaxed: monitoring counter.
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -156,6 +178,8 @@ impl SharedModel {
             if delta == 0.0 {
                 continue;
             }
+            // Relaxed CAS loop: same argument as `apply_gradient_atomic` —
+            // the add must not be lost, but needs no ordering.
             let mut cur = p.load(Ordering::Relaxed);
             loop {
                 let next = (f32::from_bits(cur) + delta).to_bits();
@@ -165,6 +189,7 @@ impl SharedModel {
                 }
             }
         }
+        // Relaxed: monitoring counter.
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -178,7 +203,7 @@ impl std::fmt::Debug for SharedModel {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use crate::init::InitScheme;

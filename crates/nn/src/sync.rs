@@ -1,0 +1,13 @@
+//! Atomic-primitive facade for the shared (Hogwild) model storage.
+//!
+//! [`crate::shared`] imports its atomics from here instead of
+//! `std::sync::atomic`. Normal builds re-export the std types unchanged;
+//! `--features loom` swaps in the vendored loom model checker so the racy
+//! and CAS update paths of [`crate::SharedModel`] can be exhaustively
+//! interleaved (`crates/nn/tests/loom_shared.rs`, DESIGN.md §4e).
+
+#[cfg(feature = "loom")]
+pub use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};

@@ -1,5 +1,9 @@
 //! Property-based tests on the network's mathematical invariants.
 
+// The loom build swaps SharedModel's atomics for model-checked versions that
+// require a loom context; these std tests are compiled out there.
+#![cfg(not(feature = "loom"))]
+
 use hetero_nn::{
     backward, forward, loss, loss_and_gradient, Activation, InitScheme, LossKind, MlpSpec, Model,
     SharedModel, Targets,

@@ -55,6 +55,8 @@ impl Registry {
     /// Counter values are reported as `f64` alongside gauges so the
     /// snapshot has one uniform shape.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
+        // Relaxed loads throughout: metrics are monitoring data — a racy
+        // snapshot is acceptable and no other memory hinges on the values.
         let mut out: Vec<(String, f64)> = Vec::new();
         for (name, cell) in self.counters.read().iter() {
             out.push((name.clone(), cell.load(Ordering::Relaxed) as f64));
@@ -83,12 +85,14 @@ impl CounterHandle {
     /// Add `delta`.
     pub fn add(&self, delta: u64) {
         if let Some(c) = &self.cell {
+            // Relaxed: monitoring counter; ordering carries no meaning here.
             c.fetch_add(delta, Ordering::Relaxed);
         }
     }
 
     /// Current value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
+        // Relaxed: racy monitoring read, by design.
         self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
@@ -109,6 +113,7 @@ impl GaugeHandle {
     /// Overwrite the gauge.
     pub fn set(&self, value: f64) {
         if let Some(c) = &self.cell {
+            // Relaxed: monitoring gauge; last-writer-wins is fine.
             c.store(value.to_bits(), Ordering::Relaxed);
         }
     }
@@ -116,6 +121,8 @@ impl GaugeHandle {
     /// Raise the gauge to `value` if it is higher (high-water mark).
     pub fn fetch_max(&self, value: f64) {
         let Some(c) = &self.cell else { return };
+        // Relaxed CAS loop: atomicity keeps the high-water mark exact;
+        // ordering is irrelevant for a monitoring value.
         let mut cur = c.load(Ordering::Relaxed);
         loop {
             if f64::from_bits(cur) >= value {
@@ -136,6 +143,7 @@ impl GaugeHandle {
     /// Add `delta` (atomic read-modify-write loop).
     pub fn add(&self, delta: f64) {
         let Some(c) = &self.cell else { return };
+        // Relaxed CAS loop: same argument as `fetch_max`.
         let mut cur = c.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
@@ -148,6 +156,7 @@ impl GaugeHandle {
 
     /// Current value (0.0 for a disabled handle).
     pub fn get(&self) -> f64 {
+        // Relaxed: racy monitoring read, by design.
         self.cell
             .as_ref()
             .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))

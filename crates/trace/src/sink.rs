@@ -82,6 +82,8 @@ impl SinkInner {
     fn now(&self) -> f64 {
         match self.domain {
             TimeDomain::Wall => self.start.elapsed().as_secs_f64(),
+            // Relaxed: the clock is advanced by one publisher and read
+            // racily by instrumentation; no other memory depends on it.
             TimeDomain::Virtual => f64::from_bits(self.virtual_now.load(Ordering::Relaxed)),
         }
     }
@@ -189,6 +191,7 @@ impl TraceSink {
     fn enabled_with(domain: TimeDomain, ring_capacity: usize) -> Self {
         TraceSink {
             inner: Some(Arc::new(SinkInner {
+                // Relaxed: unique-id allocation needs atomicity only.
                 id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
                 domain,
                 start: Instant::now(),
@@ -220,6 +223,7 @@ impl TraceSink {
     /// Publish the simulation's current virtual time.
     pub fn set_virtual_now(&self, t: f64) {
         if let Some(inner) = &self.inner {
+            // Relaxed: see `SinkInner::now` — racy clock reads are fine.
             inner.virtual_now.store(t.to_bits(), Ordering::Relaxed);
         }
     }

@@ -1,0 +1,636 @@
+//! `cargo xtask lint` — workspace concurrency-hygiene lint.
+//!
+//! A deliberately simple, dependency-free text scanner (no `syn` in this
+//! offline workspace) that enforces the rules DESIGN.md §4e commits to:
+//!
+//! 1. **SAFETY comments** — every `unsafe` keyword (block, fn, impl) must
+//!    have a `// SAFETY:` comment on the same line or in the contiguous
+//!    comment/attribute run above it.
+//! 2. **Ordering allowlist** — `Ordering::{Relaxed,Acquire,Release,AcqRel,
+//!    SeqCst}` may appear only in the audited concurrency modules
+//!    ([`ORDERING_ALLOWLIST`]), and every use site must have a nearby
+//!    comment justifying the chosen ordering (within
+//!    [`ORDERING_COMMENT_WINDOW`] lines — one comment may cover a short
+//!    cluster of sites, e.g. a CAS loop).
+//! 3. **Supervised spawning** — `thread::spawn` / `thread::Builder` only in
+//!    the supervision layer (`crates/core/src/engine_threads.rs`); workers
+//!    must be started (and joined, panic-watched) there.
+//! 4. **No unwrap on channel results** — `.send()/.recv()/...` results in
+//!    non-test code must be handled, not `.unwrap()`/`.expect()`ed: a dead
+//!    peer is an expected event the fault-tolerance layer handles.
+//!
+//! Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]` modules),
+//! the vendored shims, and xtask itself are exempt. Run `cargo xtask lint
+//! --self-check` to verify every rule still fires on seeded violations.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files (workspace-relative, `/`-separated) whose *paths* are allowed to
+/// contain atomic `Ordering::` uses. Everything else must use higher-level
+/// primitives from these modules.
+const ORDERING_ALLOWLIST: &[&str] = &[
+    "crates/mq/src/",           // lock-free queue + channels (loom-checked)
+    "crates/nn/src/shared.rs",  // Hogwild shared model (loom-checked)
+    "crates/nn/src/sync.rs",    // atomic facade for the above
+    "crates/trace/src/",        // monitoring counters/gauges (relaxed-only)
+    "crates/gpu/src/stream.rs", // stream completion flags
+];
+
+/// The places allowed to start OS threads: the worker supervision layer,
+/// and the simulated GPU stream's executor thread (a modeled device engine,
+/// owned and joined by `Stream::drop`).
+const SPAWN_ALLOWLIST: &[&str] = &[
+    "crates/core/src/engine_threads.rs",
+    "crates/gpu/src/stream.rs",
+];
+
+/// How many lines above an `Ordering::` use a justification comment may
+/// sit. Generous on purpose: one comment may justify a small cluster
+/// (load + CAS-loop retry sites).
+const ORDERING_COMMENT_WINDOW: usize = 10;
+
+/// Keywords that mark a comment as an ordering justification.
+const ORDERING_KEYWORDS: &[&str] = &[
+    "Relaxed", "Acquire", "Release", "AcqRel", "SeqCst", "ordering", "Ordering",
+];
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.iter().any(|a| a == "--self-check") => self_check(),
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--self-check]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask manifest has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn run_lint() {
+    let root = workspace_root();
+    let violations = lint_workspace(&root);
+    if violations.is_empty() {
+        println!("xtask lint: OK");
+        return;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("xtask lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+/// Lint every non-exempt `.rs` file under `crates/*/src`.
+fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if is_exempt_path(&rel) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        violations.extend(lint_source(&rel, &text));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Whole-path exemptions: only library/binary sources are linted.
+fn is_exempt_path(rel: &str) -> bool {
+    !rel.contains("/src/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("shims/")
+        || rel.starts_with("crates/xtask/")
+}
+
+/// One source line after comment/string stripping, plus what was stripped.
+struct Line {
+    /// Code with comments and string contents blanked.
+    code: String,
+    /// Concatenated comment text on this line (line + block comments).
+    comment: String,
+    /// Inside a `#[cfg(test)]` (or any cfg containing `test`) item.
+    in_test_cfg: bool,
+}
+
+/// Lint a single file's contents. `rel` is the workspace-relative path used
+/// both for reporting and for the allowlists.
+fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
+    let lines = preprocess(text);
+    let mut out = Vec::new();
+
+    let ordering_allowed = ORDERING_ALLOWLIST.iter().any(|p| rel.starts_with(p));
+    let spawn_allowed = SPAWN_ALLOWLIST.contains(&rel);
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        if line.in_test_cfg {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        // Rule 1: SAFETY comment on every `unsafe`.
+        if has_word(code, "unsafe") && !safety_comment_nearby(&lines, i) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "safety-comment",
+                msg: "`unsafe` without a `// SAFETY:` comment on the line or in the comment run above".into(),
+            });
+        }
+
+        // Rule 2: Ordering allowlist + justification comment.
+        if code.contains("Ordering::") {
+            if !ordering_allowed {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "ordering-allowlist",
+                    msg: "atomic Ordering used outside the audited concurrency modules".into(),
+                });
+            } else if !ordering_comment_nearby(&lines, i) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "ordering-justified",
+                    msg: format!(
+                        "Ordering use without a justification comment within {ORDERING_COMMENT_WINDOW} lines"
+                    ),
+                });
+            }
+        }
+
+        // Rule 3: spawning only in the supervision layer.
+        if !spawn_allowed && (code.contains("thread::spawn") || code.contains("thread::Builder")) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "supervised-spawn",
+                msg:
+                    "thread spawn outside the supervision layer (crates/core/src/engine_threads.rs)"
+                        .into(),
+            });
+        }
+
+        // Rule 4: no unwrap/expect on channel operation results.
+        if let Some(op) = channel_unwrap(code) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "channel-unwrap",
+                msg: format!(
+                    "`.{op}(..)` result unwrapped; handle disconnects explicitly in worker code"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Strip comments and string literals (keeping line structure), record the
+/// comment text per line, and mark `#[cfg(test)]` item bodies.
+fn preprocess(text: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = St::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test_cfg: false,
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Str;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw string heads: r"..."  r#"..."#  br#"..."# etc.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&code) {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                        code.push_str("\"\"");
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        st = St::Char;
+                        i += 2;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime: keep the tick, scanning continues normally.
+                }
+                code.push(c);
+                i += 1;
+            }
+            St::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        st = St::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            St::Char => {
+                if c == '\'' {
+                    code.push_str("' '");
+                    st = St::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            in_test_cfg: false,
+        });
+    }
+    mark_test_cfg(&mut lines);
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Mark every line belonging to an item annotated `#[cfg(...test...)]`
+/// (typically `#[cfg(test)] mod tests`) by brace-tracking from the
+/// attribute to the close of the item's body.
+fn mark_test_cfg(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let is_test_attr = {
+            let code = lines[i].code.trim_start();
+            code.starts_with("#[cfg(") && code.contains("test")
+        };
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item, then its close.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            for c in lines[j].code.clone().chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            lines[j].in_test_cfg = true;
+            if opened && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .last()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// A `// SAFETY:` comment counts if it is on the same line or anywhere in
+/// the contiguous run of comment/attribute/empty lines directly above.
+fn safety_comment_nearby(lines: &[Line], i: usize) -> bool {
+    if lines[i].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        let code = line.code.trim();
+        let is_pure_annotation = code.is_empty() || code.starts_with("#[");
+        if line.comment.contains("SAFETY:") {
+            return true;
+        }
+        if !is_pure_annotation {
+            return false;
+        }
+    }
+    false
+}
+
+/// An ordering justification comment within the window above (or on the
+/// same line): any comment mentioning an ordering keyword.
+fn ordering_comment_nearby(lines: &[Line], i: usize) -> bool {
+    let lo = i.saturating_sub(ORDERING_COMMENT_WINDOW);
+    lines[lo..=i]
+        .iter()
+        .any(|l| ORDERING_KEYWORDS.iter().any(|k| l.comment.contains(k)))
+}
+
+/// Detects `.send(..).unwrap()` style patterns on a single line; returns
+/// the channel operation name.
+fn channel_unwrap(code: &str) -> Option<&'static str> {
+    const OPS: &[&str] = &["try_send", "send", "try_recv", "recv_timeout", "recv"];
+    for op in OPS {
+        let needle = format!(".{op}(");
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(&needle) {
+            let at = start + pos + needle.len();
+            // Skip to the matching close paren of the call.
+            let mut depth = 1;
+            let mut k = at;
+            let bytes: Vec<char> = code[at..].chars().collect();
+            let mut idx = 0;
+            while idx < bytes.len() && depth > 0 {
+                match bytes[idx] {
+                    '(' => depth += 1,
+                    ')' => depth -= 1,
+                    _ => {}
+                }
+                idx += 1;
+            }
+            k += idx;
+            let rest = code[k..].trim_start();
+            if rest.starts_with(".unwrap()") || rest.starts_with(".expect(") {
+                return Some(op);
+            }
+            start = at;
+        }
+    }
+    None
+}
+
+/// Seeded violations: every rule must fire on its snippet, and a clean
+/// snippet must produce nothing.
+fn self_check() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "safety-comment",
+            "crates/demo/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n",
+        ),
+        (
+            "ordering-allowlist",
+            "crates/demo/src/lib.rs",
+            "// Relaxed: because.\nfn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n",
+        ),
+        (
+            "ordering-justified",
+            "crates/mq/src/demo.rs",
+            "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n",
+        ),
+        (
+            "supervised-spawn",
+            "crates/demo/src/lib.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        ),
+        (
+            "channel-unwrap",
+            "crates/demo/src/lib.rs",
+            "fn f(tx: &Sender<u8>) { tx.send(1).unwrap(); }\n",
+        ),
+    ];
+    let mut failed = false;
+    for (rule, path, src) in cases {
+        let hits = lint_source(path, src);
+        if hits.iter().any(|v| v.rule == *rule) {
+            println!("self-check: {rule} fires on seeded violation ... ok");
+        } else {
+            eprintln!("self-check: {rule} did NOT fire on: {src}");
+            failed = true;
+        }
+    }
+    // Clean code must not trip anything.
+    let clean = "\
+// SAFETY: p is valid by contract.\n\
+fn f(p: *mut u8) { unsafe { *p = 0 }; }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn g(tx: &Sender<u8>) { tx.send(1).unwrap(); }\n\
+}\n";
+    let hits = lint_source("crates/demo/src/lib.rs", clean);
+    if hits.is_empty() {
+        println!("self-check: clean snippet produces no violations ... ok");
+    } else {
+        for v in &hits {
+            eprintln!("self-check: false positive: {v}");
+        }
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("xtask lint --self-check: OK");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_clean() {
+        let violations = lint_workspace(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_are_ignored() {
+        let src = "fn f() { let _ = \"thread::spawn Ordering::Relaxed unsafe\"; }\n";
+        assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+        let src = "// thread::spawn in a comment is fine\nfn f() {}\n";
+        assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_violations_fire() {
+        let src = "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n";
+        let hits = lint_source("crates/demo/src/lib.rs", src);
+        assert!(hits.iter().any(|v| v.rule == "safety-comment"));
+    }
+
+    #[test]
+    fn expect_on_recv_is_flagged() {
+        let src = "fn f(rx: &Receiver<u8>) { rx.recv().expect(\"alive\"); }\n";
+        let hits = lint_source("crates/demo/src/lib.rs", src);
+        assert!(hits.iter().any(|v| v.rule == "channel-unwrap"));
+    }
+}

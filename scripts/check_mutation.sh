@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Mutation check for the queue's publish ordering.
+#
+# The producer's `next`-pointer store in crates/mq/src/queue.rs must be
+# `Release` (PUBLISH_ORD). Building with `--cfg hetero_weak_publish` weakens
+# it to `Relaxed` — a seeded bug. This script asserts that:
+#   1. the loom suite passes with the correct ordering, and
+#   2. the loom suite FAILS (with a data-race report) under the mutation,
+# i.e. the model checker genuinely guards the publish edge.
+#
+# Usage: scripts/check_mutation.sh   (from anywhere in the repo)
+set -u
+cd "$(dirname "$0")/.."
+
+log="target/weak_publish_test.log"
+mkdir -p target
+
+echo "[1/2] baseline: loom queue suite must pass with Release publish"
+if ! cargo test -p hetero-mq --features loom --test loom_queue -q >"$log" 2>&1; then
+    echo "FAIL: baseline loom suite is red"
+    tail -40 "$log"
+    exit 1
+fi
+
+echo "[2/2] mutation: suite must FAIL with publish weakened to Relaxed"
+if RUSTFLAGS="--cfg hetero_weak_publish" \
+    cargo test -p hetero-mq --features loom --test loom_queue -q >"$log" 2>&1; then
+    echo "FAIL: Release->Relaxed publish mutation was NOT caught"
+    exit 1
+fi
+if ! grep -q "data race" "$log"; then
+    echo "FAIL: suite failed under the mutation, but not with a data-race report"
+    tail -40 "$log"
+    exit 1
+fi
+
+echo "OK: Release->Relaxed publish mutation is caught by the loom suite (data race reported)"

@@ -1,0 +1,82 @@
+//! Race-checked interior mutability, mirroring `loom::cell::UnsafeCell`.
+
+use std::sync::Arc;
+
+use crate::rt::{self, Attempt};
+
+/// An `UnsafeCell` whose accesses are checked against the happens-before
+/// relation: any read/write or write/write pair not ordered by the model is
+/// reported as a data race (and the access is refused before touching
+/// memory).
+///
+/// Creation counts as a write by the creating thread, so a payload built by
+/// a producer and read by a consumer is racy unless a synchronizing edge
+/// (release store → acquire load, mutex, join…) separates them.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    exec: Arc<rt::Execution>,
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: all access to `data` goes through `with`/`with_mut`, which run
+// under the execution's state lock while holding the scheduler token and
+// refuse (panic) on any pair of accesses not ordered by happens-before.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: as above — the model serializes and race-checks every access.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Wrap `value`; counts as a write by the current thread.
+    pub fn new(value: T) -> Self {
+        let (exec, tid) = rt::ctx();
+        let id = exec.register_cell(tid);
+        UnsafeCell {
+            exec,
+            id,
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Immutable access. Panics if the last write does not happen-before
+    /// this read.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let mut f = Some(f);
+        self.exec.op(|st, tid| {
+            let (wt, wc) = st.cells[self.id].writer;
+            if st.threads[tid].vc.get(wt) < wc && !st.teardown {
+                let msg =
+                    format!("data race: unsynchronized read of UnsafeCell written by thread {wt}");
+                self.exec.fail(st, msg);
+            }
+            let clock = st.threads[tid].vc.get(tid);
+            st.cells[self.id].readers.set(tid, clock);
+            let func = f.take().expect("with retried after completion");
+            Attempt::Ready(func(self.data.get()))
+        })
+    }
+
+    /// Mutable access. Panics unless the last write *and* all reads since it
+    /// happen-before this write.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let mut f = Some(f);
+        self.exec.op(|st, tid| {
+            let (wt, wc) = st.cells[self.id].writer;
+            if st.threads[tid].vc.get(wt) < wc && !st.teardown {
+                let msg =
+                    format!("data race: unsynchronized write of UnsafeCell written by thread {wt}");
+                self.exec.fail(st, msg);
+            }
+            if !st.cells[self.id].readers.le(&st.threads[tid].vc) && !st.teardown {
+                let msg = "data race: write of UnsafeCell concurrent with an unsynchronized read"
+                    .to_string();
+                self.exec.fail(st, msg);
+            }
+            let clock = st.threads[tid].vc.get(tid);
+            st.cells[self.id].writer = (tid, clock);
+            st.cells[self.id].readers.clear();
+            let func = f.take().expect("with_mut retried after completion");
+            Attempt::Ready(func(self.data.get()))
+        })
+    }
+}

@@ -1,0 +1,8 @@
+//! Spin-loop hints, remapped to scheduler yields under the model.
+
+/// In a model, a spin-loop hint is a yield: the spinning thread gives up the
+/// token until some other thread makes progress, so busy-wait loops cannot
+/// monopolize the (serialized) schedule.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

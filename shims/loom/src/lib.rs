@@ -1,0 +1,48 @@
+//! Offline shim of the [loom](https://docs.rs/loom) permutation tester,
+//! implementing the subset of the loom 0.7 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! from-scratch miniature model checker with the same testing discipline:
+//!
+//! - **Serialized execution.** Threads spawned inside [`model`] are real OS
+//!   threads, but a token-passing scheduler lets exactly one run at a time.
+//!   Every operation on a loom primitive (atomic, mutex, condvar, cell,
+//!   spawn/join, yield) is a *scheduling point* where the checker may switch
+//!   threads.
+//! - **Exhaustive schedule exploration.** [`model`] re-runs the closure under
+//!   depth-first search over all scheduling decisions, bounded by a CHESS-style
+//!   preemption bound (default 2, `LOOM_MAX_PREEMPTIONS`): every interleaving
+//!   reachable with at most that many involuntary context switches is
+//!   explored. Unlike real loom there is no DPOR partial-order reduction, so
+//!   keep modeled programs small (2–3 threads, a few operations each).
+//! - **Happens-before tracking.** Each thread carries a vector clock. Atomic
+//!   stores/RMWs with `Release` publish the writer's clock on the location,
+//!   `Acquire` loads join it, a `Relaxed` store *clears* the location's
+//!   release clock (it breaks the release sequence), and a `Relaxed` RMW
+//!   propagates it unchanged (it continues the sequence). Mutex unlock→lock
+//!   and spawn/join edges are tracked the same way.
+//! - **Data-race detection.** Plain (non-atomic) shared data must live in
+//!   [`cell::UnsafeCell`]. Every access is checked against the last write's
+//!   and readers' clocks; an access not ordered by happens-before panics with
+//!   a `data race` error — *before* the memory is touched. This is what makes
+//!   a `Release` store weakened to `Relaxed` observable: the consumer's read
+//!   of the published payload loses its ordering edge and the checker trips.
+//!
+//! Two deliberate simplifications relative to real loom, both *sound for race
+//! detection* but weaker for value prediction: atomic loads always observe the
+//! most recent store in the serialized execution (no stale-value exploration),
+//! and `SeqCst` is modeled as `AcqRel` (no single total order). A bug that
+//! only manifests through a stale relaxed *value* (not through a missing
+//! happens-before edge) can escape this shim; every misuse of ordering that
+//! un-synchronizes a plain-data access cannot.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod hint;
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, model_with, Config};

@@ -1,0 +1,136 @@
+//! The exploration driver: run a closure under every schedule reachable
+//! within the preemption bound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::{self, Decision, Execution};
+
+pub use crate::rt::last_explored_schedules;
+
+/// Exploration limits. The defaults suit the small models this workspace
+/// checks; override per-test with [`model_with`] or the environment
+/// (`LOOM_MAX_PREEMPTIONS`, `LOOM_MAX_ITERATIONS`).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution (CHESS bound).
+    pub max_preemptions: usize,
+    /// Hard cap on explored schedules; exceeding it fails the test rather
+    /// than silently passing on partial coverage.
+    pub max_iterations: usize,
+    /// Per-execution scheduling-point cap; tripping it means a livelock.
+    pub max_ops: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_usize = |key: &str, default: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Config {
+            max_preemptions: env_usize("LOOM_MAX_PREEMPTIONS", 2),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS", 300_000),
+            max_ops: env_usize("LOOM_MAX_OPS", 50_000),
+        }
+    }
+}
+
+/// Exhaustively explore `f` under the default [`Config`].
+///
+/// Panics (failing the enclosing test) on the first schedule that observes a
+/// data race, a deadlock, a livelock, or a panic inside the model.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// Exhaustively explore `f` under an explicit [`Config`].
+pub fn model_with<F>(config: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut schedule: Vec<Decision> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > config.max_iterations {
+            panic!(
+                "loom: exceeded {} schedules without finishing exploration; \
+                 shrink the model or raise LOOM_MAX_ITERATIONS",
+                config.max_iterations
+            );
+        }
+        schedule = run_one(&f, &config, schedule, iterations);
+        // Depth-first backtrack: advance the deepest decision that still has
+        // an unexplored alternative, discarding everything after it.
+        loop {
+            match schedule.last_mut() {
+                None => {
+                    rt::record_iterations(iterations);
+                    if std::env::var_os("LOOM_LOG").is_some() {
+                        eprintln!("loom: explored {iterations} schedules");
+                    }
+                    return;
+                }
+                Some(d) if d.chosen + 1 < d.options.len() => {
+                    d.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    schedule.pop();
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F>(f: &F, config: &Config, schedule: Vec<Decision>, iteration: usize) -> Vec<Decision>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution::new(
+        schedule,
+        config.max_preemptions,
+        config.max_ops,
+    ));
+    rt::set_ctx(&exec, 0);
+    let body = catch_unwind(AssertUnwindSafe(f));
+    match body {
+        Ok(()) => {
+            let epilogue = catch_unwind(AssertUnwindSafe(|| exec.finish_main()));
+            rt::clear_ctx();
+            if let Err(payload) = epilogue {
+                exec.poison_from_main("main thread panicked during rundown".into());
+                report(&exec, iteration);
+                resume_unwind(payload);
+            }
+        }
+        Err(payload) => {
+            rt::clear_ctx();
+            // Unwedge parked spawned threads, then surface the model's own
+            // diagnosis if it has one (a race message beats a bare panic).
+            exec.poison_from_main("main thread panicked".into());
+            report(&exec, iteration);
+            resume_unwind(payload);
+        }
+    }
+    let (schedule, failed) = exec.into_outcome();
+    if let Some(msg) = failed {
+        panic!("loom: schedule {iteration} failed: {msg}");
+    }
+    schedule
+}
+
+fn report(exec: &Arc<Execution>, iteration: usize) {
+    let (_, failed) = Arc::clone(exec).into_outcome();
+    if let Some(msg) = failed {
+        eprintln!("loom: schedule {iteration} failed: {msg}");
+    } else {
+        eprintln!("loom: schedule {iteration} panicked in the model closure");
+    }
+}

@@ -1,0 +1,499 @@
+//! Execution runtime: the token-passing scheduler, vector clocks, and the
+//! per-execution state behind every loom primitive.
+//!
+//! One [`Execution`] lives for one run of the model closure. All bookkeeping
+//! (thread states, atomic sync clocks, cell access histories, mutex/condvar
+//! state) sits inside a single `std::sync::Mutex<State>`; primitive
+//! operations run their semantics *while holding that lock and the
+//! scheduler token*, so instrumented operations are fully serialized and the
+//! real mutex provides the hardware-level happens-before edges the model
+//! assumes when it hands data from one OS thread to another.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Sentinel for "no thread is active: the execution is complete".
+const DONE: usize = usize::MAX;
+
+/// A vector clock: `clock[t]` is the latest operation of thread `t` that
+/// happens-before the owner's current point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, tid: usize, val: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = val;
+    }
+
+    pub(crate) fn inc(&mut self, tid: usize) {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (tid, &v) in other.0.iter().enumerate() {
+            if v > self.get(tid) {
+                self.set(tid, v);
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// `true` when every entry of `self` is `<=` the matching entry of
+    /// `other`, i.e. everything the owner of `self` had seen happens-before
+    /// the point described by `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+/// What a thread is currently able to do, from the scheduler's viewpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// May be granted the token.
+    Runnable,
+    /// Voluntarily yielded (spin loop); runnable again once any other thread
+    /// makes progress, or when nothing else can run.
+    Yielded,
+    /// Waiting for a mutex to unlock.
+    BlockedMutex(usize),
+    /// Waiting on a condvar; only a notify makes it runnable.
+    BlockedCondvar(usize),
+    /// Waiting for another thread to finish.
+    BlockedJoin(usize),
+    /// Completed (closure returned and the thread retired).
+    Finished,
+}
+
+pub(crate) struct ThreadSt {
+    pub(crate) status: Status,
+    pub(crate) vc: VClock,
+}
+
+/// One branch point in the schedule: which runnable thread got the token.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub(crate) chosen: usize,
+    pub(crate) options: Vec<usize>,
+}
+
+#[derive(Default)]
+pub(crate) struct AtomicSt {
+    /// Clock released by the location's current release sequence; empty when
+    /// the last plain store was `Relaxed`.
+    pub(crate) sync: VClock,
+}
+
+pub(crate) struct CellSt {
+    /// Thread id and per-thread clock of the last write (creation counts).
+    pub(crate) writer: (usize, u32),
+    /// Clock of reads since the last write, one entry per reading thread.
+    pub(crate) readers: VClock,
+}
+
+#[derive(Default)]
+pub(crate) struct MutexSt {
+    pub(crate) locked: bool,
+    pub(crate) sync: VClock,
+}
+
+#[derive(Default)]
+pub(crate) struct CondvarSt {
+    pub(crate) waiters: VecDeque<usize>,
+}
+
+pub(crate) struct State {
+    pub(crate) threads: Vec<ThreadSt>,
+    pub(crate) active: usize,
+    /// Replay prefix plus decisions appended by this execution.
+    pub(crate) schedule: Vec<Decision>,
+    /// Next decision index to consume (replay) or append (explore).
+    step: usize,
+    preemptions: usize,
+    ops: usize,
+    pub(crate) failed: Option<String>,
+    /// Set while a panicking thread runs destructor ops: primitives must
+    /// neither block nor report failures, so unwinding always completes.
+    pub(crate) teardown: bool,
+    pub(crate) atomics: Vec<AtomicSt>,
+    pub(crate) cells: Vec<CellSt>,
+    pub(crate) mutexes: Vec<MutexSt>,
+    pub(crate) condvars: Vec<CondvarSt>,
+}
+
+/// Outcome of one attempt at an instrumented operation.
+pub(crate) enum Attempt<R> {
+    /// The operation completed with this result.
+    Ready(R),
+    /// The operation cannot proceed; park with this status until another
+    /// thread changes it back to `Runnable`, then retry.
+    Block(Status),
+}
+
+pub(crate) struct Execution {
+    state: StdMutex<State>,
+    // (Condvar and caps below; Debug is manual since State is internal.)
+    cv: StdCondvar,
+    pub(crate) max_preemptions: usize,
+    pub(crate) max_ops: usize,
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution").finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Enter `exec` as thread `tid` on the current OS thread.
+pub(crate) fn set_ctx(exec: &Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The current execution and thread id; panics outside [`crate::model`].
+pub(crate) fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+fn lock_ignore_poison(m: &StdMutex<State>) -> StdMutexGuard<'_, State> {
+    // A panicking thread (deliberate: that is how races are reported) must
+    // not wedge every other parked thread behind a poisoned lock.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Execution {
+    pub(crate) fn new(schedule: Vec<Decision>, max_preemptions: usize, max_ops: usize) -> Self {
+        let mut root_vc = VClock::default();
+        root_vc.inc(0);
+        Execution {
+            state: StdMutex::new(State {
+                threads: vec![ThreadSt {
+                    status: Status::Runnable,
+                    vc: root_vc,
+                }],
+                active: 0,
+                schedule,
+                step: 0,
+                preemptions: 0,
+                ops: 0,
+                failed: None,
+                teardown: false,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+            max_preemptions,
+            max_ops,
+        }
+    }
+
+    /// Record a model violation and wake everyone so they can unwind.
+    pub(crate) fn fail(&self, st: &mut State, msg: String) -> ! {
+        if st.failed.is_none() {
+            st.failed = Some(msg.clone());
+        }
+        self.cv.notify_all();
+        panic!("loom model failure: {msg}");
+    }
+
+    /// Run one instrumented operation as the current thread.
+    ///
+    /// Blocks until the scheduler token arrives, executes `attempt` under the
+    /// state lock, picks the next thread to run, and returns. `attempt` is
+    /// retried after each wakeup while it keeps returning [`Attempt::Block`].
+    pub(crate) fn op<R>(&self, mut attempt: impl FnMut(&mut State, usize) -> Attempt<R>) -> R {
+        let tid = ctx().1;
+        if std::thread::panicking() {
+            // Teardown mode: the thread is unwinding (a detected race, a
+            // failed assertion…) and destructors of model-checked structures
+            // are running their usual instrumented ops. Execute them
+            // immediately — no token, no scheduling, no further panics — so
+            // cleanup completes instead of aborting in a destructor.
+            let mut st = lock_ignore_poison(&self.state);
+            st.teardown = true;
+            let r = loop {
+                match attempt(&mut st, tid) {
+                    Attempt::Ready(r) => break r,
+                    // Primitives never return Block when st.teardown is set.
+                    Attempt::Block(_) => continue,
+                }
+            };
+            st.teardown = false;
+            return r;
+        }
+        let mut st = lock_ignore_poison(&self.state);
+        loop {
+            while st.active != tid {
+                if st.failed.is_some() {
+                    let msg = st.failed.clone().unwrap();
+                    drop(st);
+                    panic!("loom model failure (propagated): {msg}");
+                }
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if let Some(msg) = st.failed.clone() {
+                drop(st);
+                panic!("loom model failure (propagated): {msg}");
+            }
+            st.ops += 1;
+            if st.ops > self.max_ops {
+                let msg = format!(
+                    "livelock: more than {} scheduling points in one execution",
+                    self.max_ops
+                );
+                self.fail(&mut st, msg);
+            }
+            st.threads[tid].vc.inc(tid);
+            match attempt(&mut st, tid) {
+                Attempt::Ready(r) => {
+                    // Progress was made: spinners (other than the thread
+                    // that just yielded, if this op *is* the yield) get
+                    // another look.
+                    for (i, t) in st.threads.iter_mut().enumerate() {
+                        if i != tid && t.status == Status::Yielded {
+                            t.status = Status::Runnable;
+                        }
+                    }
+                    self.schedule_next(&mut st, tid);
+                    self.cv.notify_all();
+                    return r;
+                }
+                Attempt::Block(status) => {
+                    st.threads[tid].status = status;
+                    self.schedule_next(&mut st, tid);
+                    self.cv.notify_all();
+                    // Stay in the loop: wait to be made runnable and granted
+                    // the token, then retry the operation.
+                }
+            }
+        }
+    }
+
+    /// Pick the next thread to hold the token. `me` is the thread releasing
+    /// it (it may be picked again when still runnable).
+    fn schedule_next(&self, st: &mut State, me: usize) {
+        let runnable = |st: &State| -> Vec<usize> {
+            st.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut cand = runnable(st);
+        if cand.is_empty() {
+            // Only spinners left: let them all try again.
+            let mut any = false;
+            for t in st.threads.iter_mut() {
+                if t.status == Status::Yielded {
+                    t.status = Status::Runnable;
+                    any = true;
+                }
+            }
+            if any {
+                cand = runnable(st);
+            }
+        }
+        if cand.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.active = DONE;
+                return;
+            }
+            let dump: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("thread {i}: {:?}", t.status))
+                .collect();
+            let msg = format!("deadlock: no runnable threads [{}]", dump.join(", "));
+            self.fail(st, msg);
+        }
+
+        let me_runnable = cand.contains(&me);
+        // Deterministic option order: continuing the current thread first
+        // keeps schedule 0 the sequential one and makes preemptions the
+        // explored alternatives.
+        let mut options = Vec::with_capacity(cand.len());
+        if me_runnable {
+            options.push(me);
+        }
+        options.extend(cand.iter().copied().filter(|&t| t != me));
+
+        // CHESS-style preemption bound: once the budget is spent, a runnable
+        // thread is never involuntarily descheduled.
+        if me_runnable && st.preemptions >= self.max_preemptions {
+            options.truncate(1);
+        }
+
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else if st.step < st.schedule.len() {
+            let d = st.schedule[st.step].clone();
+            if d.options != options {
+                let msg = format!(
+                    "nondeterministic execution: replay step {} expected options {:?}, got {:?}",
+                    st.step, d.options, options
+                );
+                self.fail(st, msg);
+            }
+            st.step += 1;
+            options[d.chosen]
+        } else {
+            st.schedule.push(Decision {
+                chosen: 0,
+                options: options.clone(),
+            });
+            st.step += 1;
+            options[0]
+        };
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+    }
+
+    /// Mark the current thread finished and hand the token on.
+    pub(crate) fn retire(&self, tid: usize) {
+        self.op(|st, me| {
+            debug_assert_eq!(me, tid);
+            st.threads[me].status = Status::Finished;
+            // Wake joiners.
+            for t in st.threads.iter_mut() {
+                if t.status == Status::BlockedJoin(me) {
+                    t.status = Status::Runnable;
+                }
+            }
+            Attempt::Ready(())
+        });
+    }
+
+    /// Main-thread epilogue: retire thread 0, then wait for every spawned
+    /// thread to finish so the next exploration iteration starts clean.
+    pub(crate) fn finish_main(&self) {
+        self.retire(0);
+        let mut st = lock_ignore_poison(&self.state);
+        while st.active != DONE {
+            if st.failed.is_some() {
+                let msg = st.failed.clone().unwrap();
+                drop(st);
+                panic!("loom model failure (propagated): {msg}");
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Record a failure observed outside an instrumented op (e.g. a panic in
+    /// the model closure itself) so parked threads unwind instead of hanging.
+    pub(crate) fn poison_from_main(&self, msg: String) {
+        let mut st = lock_ignore_poison(&self.state);
+        if st.failed.is_none() {
+            st.failed = Some(msg);
+        }
+        st.active = DONE;
+        self.cv.notify_all();
+    }
+
+    /// The schedule including decisions appended by this execution, and
+    /// whether it failed.
+    pub(crate) fn into_outcome(self: Arc<Self>) -> (Vec<Decision>, Option<String>) {
+        let exec = Arc::try_unwrap(self);
+        match exec {
+            Ok(e) => {
+                let st = e.state.into_inner().unwrap_or_else(|p| p.into_inner());
+                (st.schedule, st.failed)
+            }
+            Err(shared) => {
+                // A spawned OS thread is still unwinding and holds a clone;
+                // snapshot through the lock instead.
+                let st = lock_ignore_poison(&shared.state);
+                (st.schedule.clone(), st.failed.clone())
+            }
+        }
+    }
+
+    // ---- registration helpers used by the primitives ----
+
+    pub(crate) fn register_atomic(&self) -> usize {
+        let mut st = lock_ignore_poison(&self.state);
+        st.atomics.push(AtomicSt::default());
+        st.atomics.len() - 1
+    }
+
+    pub(crate) fn register_cell(&self, creator: usize) -> usize {
+        let mut st = lock_ignore_poison(&self.state);
+        let clock = st.threads[creator].vc.get(creator);
+        st.cells.push(CellSt {
+            writer: (creator, clock),
+            readers: VClock::default(),
+        });
+        st.cells.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = lock_ignore_poison(&self.state);
+        st.mutexes.push(MutexSt::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = lock_ignore_poison(&self.state);
+        st.condvars.push(CondvarSt::default());
+        st.condvars.len() - 1
+    }
+}
+
+/// Register a newly spawned thread in `st`; returns its id. The child
+/// inherits the parent's clock (spawn edge). Must run inside an op so thread
+/// ids are assigned in schedule order (replay determinism).
+pub(crate) fn spawn_thread(st: &mut State, parent: usize) -> usize {
+    st.threads[parent].vc.inc(parent);
+    let mut vc = st.threads[parent].vc.clone();
+    let tid = st.threads.len();
+    vc.inc(tid);
+    st.threads.push(ThreadSt {
+        status: Status::Runnable,
+        vc,
+    });
+    tid
+}
+
+/// Global count of executions explored by the most recent [`crate::model`]
+/// call (for logging and shim tests).
+pub(crate) static LAST_ITERATIONS: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn record_iterations(n: usize) {
+    LAST_ITERATIONS.store(n, Ordering::Relaxed);
+}
+
+/// Number of schedules the most recent `model()` run explored.
+pub fn last_explored_schedules() -> usize {
+    LAST_ITERATIONS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,487 @@
+//! Model-checked synchronization primitives: atomics with release/acquire
+//! clock propagation, and a parking_lot-flavoured `Mutex`/`Condvar` pair
+//! (guards returned directly, `Condvar::wait(&mut guard)`), matching the API
+//! surface the workspace's `parking_lot` shim exposes.
+
+use std::sync::Arc as StdArc;
+use std::time::Instant;
+
+use crate::rt::{self, Attempt, Status};
+
+pub use std::sync::Arc;
+
+/// Atomic types with model-checked ordering semantics.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn is_acquire(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Shared core of every atomic type: the value plus a location id in the
+    /// execution's sync-clock table.
+    #[derive(Debug)]
+    struct Atomic<T: Copy> {
+        exec: StdArc<rt::Execution>,
+        id: usize,
+        val: std::cell::UnsafeCell<T>,
+    }
+
+    // SAFETY: `val` is only read or written inside `Execution::op`, which
+    // serializes access under the execution's state lock while the owning
+    // thread holds the scheduler token.
+    unsafe impl<T: Copy + Send> Send for Atomic<T> {}
+    // SAFETY: as above — all access is serialized by the model runtime.
+    unsafe impl<T: Copy + Send> Sync for Atomic<T> {}
+
+    impl<T: Copy + PartialEq> Atomic<T> {
+        fn new(value: T) -> Self {
+            let (exec, _) = rt::ctx();
+            let id = exec.register_atomic();
+            Atomic {
+                exec,
+                id,
+                val: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        fn load(&self, ord: Ordering) -> T {
+            self.exec.op(|st, tid| {
+                if is_acquire(ord) {
+                    let sync = st.atomics[self.id].sync.clone();
+                    st.threads[tid].vc.join(&sync);
+                }
+                // SAFETY: serialized under the state lock (see Sync impl).
+                Attempt::Ready(unsafe { *self.val.get() })
+            })
+        }
+
+        fn store(&self, value: T, ord: Ordering) {
+            self.exec.op(|st, tid| {
+                if is_release(ord) {
+                    st.atomics[self.id].sync = st.threads[tid].vc.clone();
+                } else {
+                    // A plain relaxed store breaks the release sequence: a
+                    // later acquire load of this value synchronizes with
+                    // nothing.
+                    st.atomics[self.id].sync.clear();
+                }
+                // SAFETY: serialized under the state lock (see Sync impl).
+                unsafe { *self.val.get() = value };
+                Attempt::Ready(())
+            })
+        }
+
+        /// Read-modify-write: returns the previous value. RMWs continue the
+        /// release sequence, so a relaxed RMW leaves the location's sync
+        /// clock in place.
+        fn rmw(&self, f: impl Fn(T) -> T, ord: Ordering) -> T {
+            self.exec.op(|st, tid| {
+                if is_acquire(ord) {
+                    let sync = st.atomics[self.id].sync.clone();
+                    st.threads[tid].vc.join(&sync);
+                }
+                if is_release(ord) {
+                    let vc = st.threads[tid].vc.clone();
+                    st.atomics[self.id].sync.join(&vc);
+                }
+                // SAFETY: serialized under the state lock (see Sync impl).
+                let old = unsafe { *self.val.get() };
+                // SAFETY: as above.
+                unsafe { *self.val.get() = f(old) };
+                Attempt::Ready(old)
+            })
+        }
+
+        fn compare_exchange(
+            &self,
+            current: T,
+            new: T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<T, T> {
+            self.exec.op(|st, tid| {
+                // SAFETY: serialized under the state lock (see Sync impl).
+                let old = unsafe { *self.val.get() };
+                if old == current {
+                    if is_acquire(success) {
+                        let sync = st.atomics[self.id].sync.clone();
+                        st.threads[tid].vc.join(&sync);
+                    }
+                    if is_release(success) {
+                        let vc = st.threads[tid].vc.clone();
+                        st.atomics[self.id].sync.join(&vc);
+                    }
+                    // SAFETY: as above.
+                    unsafe { *self.val.get() = new };
+                    Attempt::Ready(Ok(old))
+                } else {
+                    if is_acquire(failure) {
+                        let sync = st.atomics[self.id].sync.clone();
+                        st.threads[tid].vc.join(&sync);
+                    }
+                    Attempt::Ready(Err(old))
+                }
+            })
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty) => {
+            /// Model-checked counterpart of the std atomic of the same name.
+            #[derive(Debug)]
+            pub struct $name {
+                inner: Atomic<$ty>,
+            }
+
+            impl $name {
+                /// Wrap `value` (must be called inside `loom::model`).
+                pub fn new(value: $ty) -> Self {
+                    $name {
+                        inner: Atomic::new(value),
+                    }
+                }
+
+                /// Atomic load with `ord` semantics.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    self.inner.load(ord)
+                }
+
+                /// Atomic store with `ord` semantics.
+                pub fn store(&self, value: $ty, ord: Ordering) {
+                    self.inner.store(value, ord)
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                    self.inner.rmw(move |_| value, ord)
+                }
+
+                /// Atomic add; returns the previous value.
+                pub fn fetch_add(&self, delta: $ty, ord: Ordering) -> $ty {
+                    self.inner.rmw(move |v| v.wrapping_add(delta), ord)
+                }
+
+                /// Atomic subtract; returns the previous value.
+                pub fn fetch_sub(&self, delta: $ty, ord: Ordering) -> $ty {
+                    self.inner.rmw(move |v| v.wrapping_sub(delta), ord)
+                }
+
+                /// Atomic max; returns the previous value.
+                pub fn fetch_max(&self, value: $ty, ord: Ordering) -> $ty {
+                    self.inner.rmw(move |v| v.max(value), ord)
+                }
+
+                /// Strong compare-and-swap.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-and-swap (never fails spuriously here).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicU32, u32);
+    int_atomic!(AtomicU64, u64);
+
+    /// Model-checked `AtomicBool`.
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        inner: Atomic<bool>,
+    }
+
+    impl AtomicBool {
+        /// Wrap `value` (must be called inside `loom::model`).
+        pub fn new(value: bool) -> Self {
+            AtomicBool {
+                inner: Atomic::new(value),
+            }
+        }
+
+        /// Atomic load with `ord` semantics.
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.inner.load(ord)
+        }
+
+        /// Atomic store with `ord` semantics.
+        pub fn store(&self, value: bool, ord: Ordering) {
+            self.inner.store(value, ord)
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+            self.inner.rmw(move |_| value, ord)
+        }
+    }
+
+    /// Model-checked `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: Atomic<*mut T>,
+    }
+
+    // SAFETY: the pointer value itself is plain data serialized by the model
+    // runtime; what it points to is the user's responsibility, as with
+    // `std::sync::atomic::AtomicPtr`.
+    unsafe impl<T> Send for AtomicPtr<T> {}
+    // SAFETY: as above.
+    unsafe impl<T> Sync for AtomicPtr<T> {}
+
+    impl<T> AtomicPtr<T> {
+        /// Wrap `ptr` (must be called inside `loom::model`).
+        pub fn new(ptr: *mut T) -> Self {
+            AtomicPtr {
+                inner: Atomic::new(ptr),
+            }
+        }
+
+        /// Atomic load with `ord` semantics.
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            self.inner.load(ord)
+        }
+
+        /// Atomic store with `ord` semantics.
+        pub fn store(&self, ptr: *mut T, ord: Ordering) {
+            self.inner.store(ptr, ord)
+        }
+
+        /// Atomic swap; returns the previous pointer.
+        pub fn swap(&self, ptr: *mut T, ord: Ordering) -> *mut T {
+            self.inner.rmw(move |_| ptr, ord)
+        }
+
+        /// Strong compare-and-swap.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+/// Model-checked mutex with the parking_lot API shape: `lock()` returns the
+/// guard directly and there is no poisoning.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    exec: StdArc<rt::Execution>,
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: `data` is only dereferenced through a held `MutexGuard`, and the
+// model's lock state admits one holder at a time.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; unlocking is a scheduling point and a release
+/// edge.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` (must be called inside `loom::model`).
+    pub fn new(value: T) -> Self {
+        let (exec, _) = rt::ctx();
+        let id = exec.register_mutex();
+        Mutex {
+            exec,
+            id,
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.exec.op(|st, tid| {
+            if st.mutexes[self.id].locked && !st.teardown {
+                Attempt::Block(Status::BlockedMutex(self.id))
+            } else {
+                st.mutexes[self.id].locked = true;
+                let sync = st.mutexes[self.id].sync.clone();
+                st.threads[tid].vc.join(&sync);
+                Attempt::Ready(())
+            }
+        });
+        MutexGuard { mutex: self }
+    }
+}
+
+/// Release `mutexes[mid]` on behalf of `tid`: release edge plus wakeups.
+fn unlock_in_state(st: &mut rt::State, tid: usize, mid: usize) {
+    st.mutexes[mid].locked = false;
+    let vc = st.threads[tid].vc.clone();
+    st.mutexes[mid].sync.join(&vc);
+    for t in st.threads.iter_mut() {
+        if t.status == Status::BlockedMutex(mid) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mid = self.mutex.id;
+        self.mutex.exec.op(|st, tid| {
+            unlock_in_state(st, tid, mid);
+            Attempt::Ready(())
+        });
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the lock is held; the model serializes
+        // all instrumented access and flags misuse as deadlock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for Deref.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+/// Result of [`Condvar::wait_until`], mirroring parking_lot.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-checked condition variable (parking_lot API shape).
+#[derive(Debug)]
+pub struct Condvar {
+    exec: StdArc<rt::Execution>,
+    id: usize,
+}
+
+impl Condvar {
+    /// A new condition variable (must be called inside `loom::model`).
+    pub fn new() -> Self {
+        let (exec, _) = rt::ctx();
+        let id = exec.register_condvar();
+        Condvar { exec, id }
+    }
+
+    /// Atomically release the guard's mutex and sleep until notified, then
+    /// reacquire. No spurious wakeups are modeled.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let mid = guard.mutex.id;
+        let cid = self.id;
+        let mut enqueued = false;
+        self.exec.op(|st, tid| {
+            if st.teardown {
+                Attempt::Ready(())
+            } else if !enqueued {
+                unlock_in_state(st, tid, mid);
+                st.condvars[cid].waiters.push_back(tid);
+                enqueued = true;
+                Attempt::Block(Status::BlockedCondvar(cid))
+            } else if st.mutexes[mid].locked {
+                // Notified, but the mutex is contended: queue for it.
+                Attempt::Block(Status::BlockedMutex(mid))
+            } else {
+                st.mutexes[mid].locked = true;
+                let sync = st.mutexes[mid].sync.clone();
+                st.threads[tid].vc.join(&sync);
+                Attempt::Ready(())
+            }
+        });
+    }
+
+    /// Deadline wait, modeled as an *immediate timeout*: the mutex is
+    /// released and reacquired (two scheduling points, so a producer can
+    /// slip in between) and `timed_out()` is always true. This is a legal
+    /// execution of the real primitive — the one where the deadline has
+    /// already passed — so protocols must tolerate it; never rely on
+    /// `wait_until` for forward progress inside a model.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let mid = guard.mutex.id;
+        self.exec.op(|st, tid| {
+            unlock_in_state(st, tid, mid);
+            Attempt::Ready(())
+        });
+        self.exec.op(|st, tid| {
+            if st.mutexes[mid].locked && !st.teardown {
+                Attempt::Block(Status::BlockedMutex(mid))
+            } else {
+                st.mutexes[mid].locked = true;
+                let sync = st.mutexes[mid].sync.clone();
+                st.threads[tid].vc.join(&sync);
+                Attempt::Ready(())
+            }
+        });
+        WaitTimeoutResult { timed_out: true }
+    }
+
+    /// Wake one waiter, if any.
+    pub fn notify_one(&self) {
+        let cid = self.id;
+        self.exec.op(|st, _tid| {
+            if let Some(w) = st.condvars[cid].waiters.pop_front() {
+                st.threads[w].status = Status::Runnable;
+            }
+            Attempt::Ready(())
+        });
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        let cid = self.id;
+        self.exec.op(|st, _tid| {
+            while let Some(w) = st.condvars[cid].waiters.pop_front() {
+                st.threads[w].status = Status::Runnable;
+            }
+            Attempt::Ready(())
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}

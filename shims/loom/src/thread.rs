@@ -1,0 +1,98 @@
+//! Model-checked threads: real OS threads serialized by the scheduler.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, Attempt, Status};
+
+/// Result slot shared between a spawned thread and its [`JoinHandle`].
+type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+/// Handle to a model thread; [`JoinHandle::join`] is a scheduling point and a
+/// synchronization (happens-before) edge, like real `std::thread`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Slot<T>,
+    exec: Arc<rt::Execution>,
+}
+
+/// Spawn a model thread. The spawn itself is a scheduling point; the child
+/// inherits the parent's vector clock (spawn edge) and begins parked until
+/// the scheduler grants it the token.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _parent) = rt::ctx();
+    let tid = exec.op(|st, me| {
+        let tid = rt::spawn_thread(st, me);
+        Attempt::Ready(tid)
+    });
+    let slot: Slot<T> = Arc::new(StdMutex::new(None));
+    {
+        let exec = Arc::clone(&exec);
+        let slot = Arc::clone(&slot);
+        std::thread::spawn(move || {
+            rt::set_ctx(&exec, tid);
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    exec.retire(tid);
+                }
+                Err(payload) => {
+                    // A panicking model thread fails the whole model (loom
+                    // semantics); record it so parked peers unwind too.
+                    let msg = panic_message(&payload);
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(payload));
+                    exec.poison_from_main(format!("model thread {tid} panicked: {msg}"));
+                }
+            }
+            rt::clear_ctx();
+        });
+    }
+    JoinHandle { tid, slot, exec }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, joining its clock into the caller's.
+    pub fn join(self) -> std::thread::Result<T> {
+        let tid = self.tid;
+        self.exec.op(|st, me| {
+            if st.threads[tid].status == Status::Finished {
+                let child_vc = st.threads[tid].vc.clone();
+                st.threads[me].vc.join(&child_vc);
+                Attempt::Ready(())
+            } else if st.teardown {
+                Attempt::Ready(())
+            } else {
+                Attempt::Block(Status::BlockedJoin(tid))
+            }
+        });
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| Err(Box::new("loom: join during teardown")))
+    }
+}
+
+/// Voluntarily release the token; the thread is rescheduled only after some
+/// other thread makes progress (or nothing else can run).
+pub fn yield_now() {
+    let (exec, _) = rt::ctx();
+    exec.op(|st, me| {
+        st.threads[me].status = Status::Yielded;
+        Attempt::Ready(())
+    });
+}
