@@ -2,6 +2,7 @@
 //! (forward NT, weight-gradient TN, backprop NN), serial vs rayon-parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_tensor::simd::{self, SimdLevel};
 use hetero_tensor::{gemm, Matrix};
 
 fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -30,6 +31,40 @@ fn bench_gemm(c: &mut Criterion) {
             let mut cmat = Matrix::zeros(m, n);
             bch.iter(|| gemm::gemm_nn(1.0, &a, &b, 0.0, &mut cmat));
         });
+        // Forced-dispatch serial variants: the scalar baseline and the SIMD
+        // microkernels, independent of what the host auto-resolves to.
+        for (tag, level) in [("scalar", SimdLevel::Scalar), ("simd", SimdLevel::Avx2)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("nn_{tag}"), batch),
+                &batch,
+                |bch, _| {
+                    let mut cmat = Matrix::zeros(m, n);
+                    simd::with_level(level, || {
+                        bch.iter(|| gemm::gemm_nn(1.0, &a, &b, 0.0, &mut cmat))
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("nt_{tag}"), batch),
+                &batch,
+                |bch, _| {
+                    let mut cmat = Matrix::zeros(m, n);
+                    simd::with_level(level, || {
+                        bch.iter(|| gemm::gemm_nt(1.0, &a, &bt, 0.0, &mut cmat))
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("tn_{tag}"), batch),
+                &batch,
+                |bch, _| {
+                    let mut cmat = Matrix::zeros(m, n);
+                    simd::with_level(level, || {
+                        bch.iter(|| gemm::gemm_tn(1.0, &at, &b, 0.0, &mut cmat))
+                    });
+                },
+            );
+        }
         group.bench_with_input(BenchmarkId::new("nn_parallel", batch), &batch, |bch, _| {
             let mut cmat = Matrix::zeros(m, n);
             bch.iter(|| gemm::par_gemm_nn(1.0, &a, &b, 0.0, &mut cmat));

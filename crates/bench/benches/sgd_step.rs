@@ -63,6 +63,7 @@ fn bench_engine(c: &mut Criterion) {
             let train = TrainConfig {
                 algorithm: algo,
                 time_budget: 0.02,
+                rayon_threads: 0,
                 eval_interval: 0.01,
                 eval_subsample: 256,
                 ..TrainConfig::default()

@@ -59,6 +59,7 @@ fn engine() -> (SimEngine, hetero_data::DenseDataset) {
     let train = TrainConfig {
         algorithm: AlgorithmKind::AdaptiveHogbatch,
         time_budget: 0.02,
+        rayon_threads: 0,
         eval_interval: 0.01,
         eval_subsample: 256,
         ..TrainConfig::default()

@@ -1,0 +1,78 @@
+//! A counting global allocator for steady-state allocation checks.
+//!
+//! The math-core benchmarks claim "zero heap allocations per training step
+//! once the [`hetero_nn::Workspace`] is warm". That claim is only worth
+//! anything if it is *measured*, so the `bench_math` binary (and any test
+//! that wants to) installs [`CountingAlloc`] as the `#[global_allocator]`
+//! and diffs [`CountingAlloc::allocations`] around the steady-state loop.
+//!
+//! The counter is a single relaxed atomic: we only ever read it from the
+//! thread doing the allocation-free work, and an exact global ordering of
+//! counts from other threads is not needed — any allocation attributed to
+//! the measured region, from any thread, is a real regression.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// [`System`] allocator wrapper that counts `alloc`/`realloc` calls.
+///
+/// Install with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: CountingAlloc = CountingAlloc::new();
+/// ```
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter starting at zero.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `alloc` + `realloc` calls since process start.
+    ///
+    /// Diff two reads around a region to count allocations inside it.
+    pub fn allocations(&self) -> u64 {
+        // Relaxed: monotone tally, nothing is published through it.
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every operation to `System`; the only added behavior is a
+// relaxed atomic increment, which cannot violate the GlobalAlloc contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: each method forwards its arguments verbatim to `System`, so
+    // every caller obligation is exactly `System`'s own.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // Relaxed: the counter is a monotone tally; no memory is published
+        // through it, so atomicity alone suffices (see module docs).
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller passed under the same contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: forwards verbatim; caller obligations are `System`'s own.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same ptr/layout the caller passed under the same contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards verbatim; caller obligations are `System`'s own.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Relaxed: see `alloc`.
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same arguments the caller passed under the same contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -12,6 +12,7 @@
 //! | `fig7_utilization` | Figure 7 — CPU/GPU utilization over 3 epochs |
 //! | `fig8_update_ratio` | Figure 8 — CPU:GPU model-update distribution |
 //! | `ablations` | α/β/threshold/lr-scaling sweeps (§VI design choices) |
+//! | `bench_math` | math-core perf trajectory → `BENCH_math.json` (not a paper artifact) |
 //!
 //! All binaries print CSV to stdout (plus rendered SVG charts under
 //! `results/`) and a human-readable summary to stderr, and honor four
@@ -26,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod plot;
 
 use hetero_core::{
@@ -143,6 +145,7 @@ impl Harness {
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: self.budget / 24.0,
             eval_subsample: 2048,
             seed: self.seed,

@@ -220,6 +220,14 @@ pub struct TrainConfig {
     /// snapshot is `s` model-updates old is applied with
     /// `eta / (1 + κ·s)`; κ = 0 (default) disables compensation.
     pub staleness_discount: f32,
+    /// Rayon pool size for intra-op (GEMM) parallelism: forward/backward
+    /// passes run with `parallel = true` (coordinator evals, GPU kernel
+    /// emulation) fan out to at most this many threads. `0` = one thread
+    /// per available host core. Pinning this below the core count leaves
+    /// headroom for the Hogwild lanes; requesting more threads than the
+    /// host has is detected at engine start and reported on the
+    /// `engine.pool_oversubscription` trace counter.
+    pub rayon_threads: usize,
     /// Seconds between loss evaluations (plus one at every epoch end).
     pub eval_interval: f64,
     /// Max examples used per loss evaluation (subsampled for speed).
@@ -246,6 +254,7 @@ impl Default for TrainConfig {
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: 0.05,
             eval_subsample: 2048,
             seed: 42,

@@ -22,9 +22,10 @@
 //! `CpuGpuHogbatch`/`AdaptiveHogbatch` reproduces the paper's argument for
 //! the centralized design.
 
-use hetero_data::{BatchScheduler, DenseDataset};
-use hetero_nn::{loss_and_gradient, Model};
+use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_nn::{Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel};
+use hetero_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::config::TrainConfig;
@@ -162,17 +163,30 @@ impl PsEngine {
         let budget = cfg.train.time_budget;
         let eval_n = cfg.train.eval_subsample.min(n);
 
+        // GEMM fan-out pinned to `train.rayon_threads` (0 = host cores);
+        // both the eval forward pass and the per-batch gradient run inside.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.train.rayon_threads)
+            .build()
+            .expect("ps gemm pool");
+        // The eval batch is the same fixed prefix every time — extract once.
+        let (eval_x, eval_labels) = dataset.batch(0, eval_n);
         let eval = |model: &Model, t: f64, epochs: f64, curve: &mut Vec<LossPoint>| {
-            let (x, labels) = dataset.batch(0, eval_n);
-            let pass = hetero_nn::forward(model, &x, true);
+            let pass = pool.install(|| hetero_nn::forward(model, &eval_x, true));
             curve.push(LossPoint {
                 time: t,
                 epochs,
-                loss: hetero_nn::loss(pass.probs(), labels.as_targets(), spec.loss),
-                accuracy: hetero_nn::accuracy(pass.probs(), labels.as_targets()),
+                loss: hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss),
+                accuracy: hetero_nn::accuracy(pass.probs(), eval_labels.as_targets()),
             });
         };
         eval(&model, 0.0, 0.0, &mut curve);
+
+        // Reused per-completion buffers: the server processes one gradient
+        // at a time, so one workspace serves every worker's batches.
+        let mut ws = Workspace::new(spec);
+        let mut batch_x = Matrix::zeros(0, 0);
+        let mut batch_labels = Labels::Classes(Vec::new());
 
         // Kick off: each worker pulls the model (network cost) and starts.
         let assign = |worker: usize,
@@ -225,8 +239,10 @@ impl PsEngine {
             }
             // Gradient on the stale snapshot; server applies it with the
             // update-count-compensated learning rate.
-            let (x, labels) = dataset.batch(p.range.0, p.range.1);
-            let (_, g) = loss_and_gradient(&p.snapshot, &x, labels.as_targets(), true);
+            dataset.batch_into(p.range.0, p.range.1, &mut batch_x, &mut batch_labels);
+            pool.install(|| {
+                ws.loss_and_gradient_into(&p.snapshot, &batch_x, batch_labels.as_targets(), true);
+            });
             let mean_updates = (stats.iter().map(|s| s.updates).sum::<f64>() / w as f64).max(1.0);
             let own = stats[p.worker].updates.max(1.0);
             let comp = (mean_updates / own).powf(cfg.lr_compensation);
@@ -235,7 +251,7 @@ impl PsEngine {
                 .lr_scaling
                 .eta(cfg.train.lr, p.range.1 - p.range.0)
                 * comp as f32;
-            model.apply_gradient(&g, eta);
+            model.apply_gradient(ws.grad(), eta);
             stats[p.worker].updates += 1.0;
             stats[p.worker].batches += 1;
             stats[p.worker].examples += (p.range.1 - p.range.0) as u64;
@@ -317,6 +333,7 @@ mod tests {
             spec: MlpSpec::tiny(10, 2),
             train: TrainConfig {
                 time_budget: budget,
+                rayon_threads: 0,
                 eval_interval: budget / 8.0,
                 eval_subsample: 512,
                 lr: 0.05,
@@ -402,6 +419,7 @@ mod tests {
                 gpu_batch: 64,
                 cpu_batch_per_thread: 16,
                 time_budget: 0.05,
+                rayon_threads: 0,
                 eval_interval: 0.01,
                 eval_subsample: 512,
                 lr: 0.05,

@@ -21,9 +21,10 @@
 //!    immediately requests more work.
 
 use hetero_data::batch::BatchRange;
-use hetero_data::{BatchScheduler, DenseDataset};
-use hetero_nn::{loss_and_gradient, MlpSpec, Model};
+use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_nn::{Gradient, MlpSpec, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
+use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 use rayon::prelude::*;
 
@@ -87,6 +88,49 @@ impl Device {
     }
 }
 
+/// Persistent scratch for one gradient lane: batch staging, the main
+/// forward/backward workspace, and (for Hybrid SVRG) a second workspace
+/// plus a direction buffer for the anchor correction. Reused across every
+/// event, so steady-state gradient computation allocates nothing.
+struct SimLane {
+    ws: Workspace,
+    anchor_ws: Workspace,
+    dir: Gradient,
+    x: Matrix,
+    labels: Labels,
+}
+
+impl SimLane {
+    fn new(spec: &MlpSpec) -> Self {
+        SimLane {
+            ws: Workspace::new(spec),
+            anchor_ws: Workspace::new(spec),
+            dir: Model::zeros_like(spec),
+            x: Matrix::zeros(0, 0),
+            labels: Labels::Classes(Vec::new()),
+        }
+    }
+}
+
+/// Per-run scratch shared by every [`SimEngine::apply_batch`] call: one
+/// lane per concurrent Hogwild sub-batch, the wave base model, and a
+/// dedicated GPU lane.
+struct SimScratch {
+    lanes: Vec<SimLane>,
+    base: Model,
+    gpu: SimLane,
+}
+
+impl SimScratch {
+    fn new(spec: &MlpSpec) -> Self {
+        SimScratch {
+            lanes: Vec::new(),
+            base: Model::zeros_like(spec),
+            gpu: SimLane::new(spec),
+        }
+    }
+}
+
 enum Ev {
     Complete {
         worker: usize,
@@ -129,6 +173,22 @@ impl SimEngine {
     /// sink this is exactly [`SimEngine::run`] — determinism is untouched
     /// because tracing never feeds back into the schedule.
     pub fn run_traced(&self, dataset: &DenseDataset, sink: &TraceSink) -> TrainResult {
+        // Pin the GEMM fan-out to `train.rayon_threads` (0 = host cores)
+        // for the whole run; the sim is single-coordinator, so the only
+        // oversubscription possible is the pool itself exceeding the host.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.cfg.train.rayon_threads)
+            .build()
+            .expect("sim gemm pool");
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        sink.counter("engine.pool_oversubscription")
+            .add(pool.current_num_threads().saturating_sub(host) as u64);
+        pool.install(|| self.run_traced_inner(dataset, sink))
+    }
+
+    fn run_traced_inner(&self, dataset: &DenseDataset, sink: &TraceSink) -> TrainResult {
         let cfg = &self.cfg;
         let train = &cfg.train;
         let algo = train.algorithm;
@@ -171,6 +231,9 @@ impl SimEngine {
         // Hybrid SVRG anchor: the latest GPU large-batch (model, gradient)
         // pair — the "compass" CPU updates correct against (§II).
         let mut anchor: Option<(Model, Model)> = None;
+        // Reused gradient-lane buffers (see `SimScratch`): warmed during
+        // the first events, allocation-free thereafter.
+        let mut scratch = SimScratch::new(spec);
         let budget = train.time_budget;
         let timeline_rejects = sink.counter("engine.timeline_rejects");
 
@@ -272,6 +335,7 @@ impl SimEngine {
                         &mut stats,
                         staleness,
                         &mut anchor,
+                        &mut scratch,
                         sink,
                     );
                     // Epoch-boundary loss evaluation (paper: "loss
@@ -502,6 +566,7 @@ impl SimEngine {
         stats: &mut [WorkerStats],
         staleness: u64,
         anchor: &mut Option<(Model, Model)>,
+        scratch: &mut SimScratch,
         sink: &TraceSink,
     ) -> u64 {
         let train = &self.cfg.train;
@@ -538,47 +603,61 @@ impl SimEngine {
                 // divergence by a wave rather than the full batch.
                 const WAVE: usize = 8;
                 let mut n_updates = 0usize;
-                let mut base = snapshot.clone();
+                scratch.base.copy_from(snapshot);
                 for wave in sub_ranges.chunks(WAVE) {
-                    let grads: Vec<(usize, hetero_nn::Gradient)> = wave
-                        .par_iter()
-                        .map(|&(s, e)| {
-                            let (x, labels) = dataset.batch(s, e);
-                            let (_, g_live) =
-                                loss_and_gradient(&base, &x, labels.as_targets(), false);
-                            let g = match svrg_anchor {
-                                Some((anchor_model, mu)) => {
-                                    // SVRG-corrected direction against the
-                                    // most recent GPU anchor:
-                                    // ∇f_i(w) − ∇f_i(ŵ) + μ̂.
-                                    let (_, g_anchor) = loss_and_gradient(
-                                        anchor_model,
-                                        &x,
-                                        labels.as_targets(),
-                                        false,
-                                    );
-                                    let mut dir = g_live;
-                                    dir.scaled_add(&g_anchor, -1.0);
-                                    dir.scaled_add(mu, 1.0);
-                                    dir
-                                }
-                                None => g_live,
-                            };
-                            (e - s, g)
-                        })
-                        .collect();
-                    n_updates += grads.len();
-                    for (len, mut g) in grads {
-                        let eta = train.lr_scaling.eta(train.lr, len) * discount;
+                    // Lanes are created during warm-up only; afterwards
+                    // every buffer in them is reused (chunk size 1 gives
+                    // lane i exclusive ownership of lanes[i]).
+                    while scratch.lanes.len() < wave.len() {
+                        scratch.lanes.push(SimLane::new(model.spec()));
+                    }
+                    let base = &scratch.base;
+                    scratch.lanes[..wave.len()]
+                        .par_chunks_mut(1)
+                        .enumerate()
+                        .for_each(|(i, lane)| {
+                            let lane = &mut lane[0];
+                            let (s, e) = wave[i];
+                            dataset.batch_into(s, e, &mut lane.x, &mut lane.labels);
+                            lane.ws.loss_and_gradient_into(
+                                base,
+                                &lane.x,
+                                lane.labels.as_targets(),
+                                false,
+                            );
+                            if let Some((anchor_model, mu)) = svrg_anchor {
+                                // SVRG-corrected direction against the
+                                // most recent GPU anchor:
+                                // ∇f_i(w) − ∇f_i(ŵ) + μ̂.
+                                lane.anchor_ws.loss_and_gradient_into(
+                                    anchor_model,
+                                    &lane.x,
+                                    lane.labels.as_targets(),
+                                    false,
+                                );
+                                lane.dir.copy_from(lane.ws.grad());
+                                lane.dir.scaled_add(lane.anchor_ws.grad(), -1.0);
+                                lane.dir.scaled_add(mu, 1.0);
+                            }
+                        });
+                    n_updates += wave.len();
+                    for (i, &(s, e)) in wave.iter().enumerate() {
+                        let lane = &mut scratch.lanes[i];
+                        let eta = train.lr_scaling.eta(train.lr, e - s) * discount;
+                        let g: &mut Gradient = if svrg_anchor.is_some() {
+                            &mut lane.dir
+                        } else {
+                            lane.ws.grad_mut()
+                        };
                         if let Some(c) = train.grad_clip {
                             g.clip_to_norm(c);
                         }
                         if train.weight_decay > 0.0 {
                             model.scale(1.0 - eta * train.weight_decay);
                         }
-                        model.apply_gradient(&g, eta);
+                        model.apply_gradient(g, eta);
                     }
-                    base = model.clone();
+                    scratch.base.copy_from(model);
                 }
                 if sink.enabled() {
                     sink.emit(
@@ -597,20 +676,22 @@ impl SimEngine {
                 n_updates as u64
             }
             Device::Gpu(_) => {
-                let (x, labels) = dataset.batch(range.start, range.end);
-                let (_, mut g) = loss_and_gradient(snapshot, &x, labels.as_targets(), true);
+                let lane = &mut scratch.gpu;
+                dataset.batch_into(range.start, range.end, &mut lane.x, &mut lane.labels);
+                lane.ws
+                    .loss_and_gradient_into(snapshot, &lane.x, lane.labels.as_targets(), true);
                 if let Some(c) = train.grad_clip {
-                    g.clip_to_norm(c);
+                    lane.ws.grad_mut().clip_to_norm(c);
                 }
                 let eta = train.lr_scaling.eta(train.lr, range.len()) * discount;
                 if train.weight_decay > 0.0 {
                     model.scale(1.0 - eta * train.weight_decay);
                 }
-                model.apply_gradient(&g, eta);
+                model.apply_gradient(lane.ws.grad(), eta);
                 if train.algorithm == AlgorithmKind::HybridSvrg {
                     // The accurate large-batch gradient becomes the new
                     // variance-reduction anchor for CPU workers.
-                    *anchor = Some((snapshot.clone(), g));
+                    *anchor = Some((snapshot.clone(), lane.ws.grad().clone()));
                 }
                 if sink.enabled() {
                     // The simulated GPU merge is the staleness-discounted
@@ -767,6 +848,7 @@ mod tests {
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: budget / 10.0,
             eval_subsample: 256,
             seed: 7,

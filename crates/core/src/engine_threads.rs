@@ -36,11 +36,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hetero_data::batch::BatchRange;
-use hetero_data::{BatchScheduler, DenseDataset};
+use hetero_data::{BatchScheduler, DenseDataset, Labels};
 use hetero_gpu::{GpuDevice, GpuMlp};
 use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
-use hetero_nn::{loss_and_gradient, MlpSpec, Model, SharedModel};
+use hetero_nn::{MlpSpec, Model, SharedModel, Workspace};
 use hetero_sim::{DeviceModel, GpuModel};
+use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 
 use crate::adaptive::{AdaptiveController, WorkerBatchState};
@@ -256,6 +257,26 @@ impl ThreadedEngine {
         let faults_ctr = sink.counter("engine.faults");
         let requeues_ctr = sink.counter("engine.requeues");
 
+        // Coordinator-side GEMM pool, pinned to `train.rayon_threads`
+        // (0 = one thread per host core): loss evaluations fan their
+        // parallel forward pass out to this pool instead of whatever
+        // `available_parallelism` says, so evals don't steal every core
+        // from the Hogwild lanes. Report how far the run as a whole
+        // oversubscribes the host: lanes plus per-GPU-worker GEMM fan-out
+        // can all be runnable at once.
+        let gemm_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(train.rayon_threads)
+            .build()
+            .expect("coordinator gemm pool");
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cpu_lanes = if algo.uses_cpu() { cfg.cpu_threads } else { 0 };
+        let gpu_slots = kinds.iter().filter(|k| **k == WorkerKind::Gpu).count();
+        let requested = cpu_lanes + gpu_slots * gemm_pool.current_num_threads();
+        sink.counter("engine.pool_oversubscription")
+            .add(requested.saturating_sub(host_threads) as u64);
+
         // Evaluation subset: the same seeded random subsample at every eval
         // point (a fixed prefix would bias the curve toward the dataset's
         // shipped ordering).
@@ -264,7 +285,7 @@ impl ThreadedEngine {
 
         let eval = |shared: &SharedModel, scheduler: &BatchScheduler, t0: Instant| -> LossPoint {
             let model = shared.snapshot();
-            let pass = hetero_nn::forward(&model, &eval_x, true);
+            let pass = gemm_pool.install(|| hetero_nn::forward(&model, &eval_x, true));
             let point = LossPoint {
                 time: t0.elapsed().as_secs_f64(),
                 epochs: scheduler.epochs_elapsed(),
@@ -492,6 +513,24 @@ impl ThreadedEngine {
                         .thread_name(|i| format!("hogwild-{i}"))
                         .build()
                         .map_err(|e| WorkerError::Panic(format!("cpu worker pool: {e}")))?;
+                    // One persistent scratch set per Hogwild lane — model
+                    // snapshot, batch staging, and forward/backward
+                    // workspace all reused across batches, so a
+                    // steady-state lane performs zero heap allocations.
+                    struct Lane {
+                        local: Model,
+                        ws: Workspace,
+                        x: Matrix,
+                        labels: Labels,
+                    }
+                    let mut lanes: Vec<Lane> = (0..threads)
+                        .map(|_| Lane {
+                            local: shared.snapshot(),
+                            ws: Workspace::new(shared.spec()),
+                            x: Matrix::zeros(0, 0),
+                            labels: Labels::Classes(Vec::new()),
+                        })
+                        .collect();
                     let mut batches_done = 0u64;
                     while let Ok(msg) = rx.recv() {
                         let range = match msg {
@@ -516,19 +555,29 @@ impl ThreadedEngine {
                         let n_updates = sub_ranges.len();
                         // Each Hogwild lane: read the live shared model (racy
                         // snapshot), compute its sub-gradient, apply racily.
+                        // Lane i owns lanes[i] exclusively (chunk size 1), so
+                        // every buffer is reused without synchronization.
                         pool.install(|| {
                             use rayon::prelude::*;
-                            sub_ranges.par_iter().for_each(|&(s, e)| {
-                                let local = shared.snapshot();
-                                let (x, labels) = dataset.batch(s, e);
-                                let (_, mut g) =
-                                    loss_and_gradient(&local, &x, labels.as_targets(), false);
-                                if let Some(c) = train.grad_clip {
-                                    g.clip_to_norm(c);
-                                }
-                                let eta = train.lr_scaling.eta(train.lr, e - s);
-                                shared.apply_gradient_racy(&g, eta);
-                            });
+                            lanes[..n_updates].par_chunks_mut(1).enumerate().for_each(
+                                |(i, lane)| {
+                                    let lane = &mut lane[0];
+                                    let (s, e) = sub_ranges[i];
+                                    shared.snapshot_into(&mut lane.local);
+                                    dataset.batch_into(s, e, &mut lane.x, &mut lane.labels);
+                                    lane.ws.loss_and_gradient_into(
+                                        &lane.local,
+                                        &lane.x,
+                                        lane.labels.as_targets(),
+                                        false,
+                                    );
+                                    if let Some(c) = train.grad_clip {
+                                        lane.ws.grad_mut().clip_to_norm(c);
+                                    }
+                                    let eta = train.lr_scaling.eta(train.lr, e - s);
+                                    shared.apply_gradient_racy(lane.ws.grad(), eta);
+                                },
+                            );
                         });
                         let busy_end = t0.elapsed().as_secs_f64();
                         batches_done += 1;
@@ -587,10 +636,23 @@ impl ThreadedEngine {
                     if let Some(n) = plan.oom_alloc_index(slot) {
                         device.inject_oom_at(n);
                     }
-                    let base = shared.snapshot();
+                    // Kernel-emulation GEMMs fan out to this pinned pool
+                    // instead of grabbing every host core.
+                    let gemm_pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(train.rayon_threads)
+                        .build()
+                        .map_err(|e| WorkerError::Panic(format!("gpu gemm pool: {e}")))?;
+                    // Persistent host-side staging, reused across batches:
+                    // snapshot/replica models and the batch buffers make the
+                    // steady-state step loop allocation-free on the host
+                    // (the device side reuses `GpuMlp`'s scratch pool).
+                    let mut snapshot = shared.snapshot();
+                    let mut replica = Model::zeros_like(shared.spec());
+                    let mut x = Matrix::zeros(0, 0);
+                    let mut labels = Labels::Classes(Vec::new());
                     // An OOM here is unrecoverable — there is no batch to
                     // shrink when the parameters themselves don't fit.
-                    let mut mlp = GpuMlp::upload(&device, &base)
+                    let mut mlp = GpuMlp::upload(&device, &snapshot)
                         .map_err(|e| WorkerError::Oom(format!("model upload failed: {e}")))?;
                     let mut batches_done = 0u64;
                     while let Ok(msg) = rx.recv() {
@@ -606,7 +668,7 @@ impl ThreadedEngine {
                         let busy_start = t0.elapsed().as_secs_f64();
                         // Deep-copy replica of the current global model (§V).
                         let updates_at_snapshot = shared.update_count();
-                        let snapshot = shared.snapshot();
+                        shared.snapshot_into(&mut snapshot);
                         // Bounded retry: halve the batch until the step fits
                         // on the device (a mid-step OOM leaves the replica
                         // partially updated, so refresh before every try).
@@ -614,9 +676,10 @@ impl ThreadedEngine {
                         let mut shrunk_to = None;
                         loop {
                             mlp.refresh(&snapshot);
-                            let (x, labels) = dataset.batch(range.start, range.start + len);
+                            dataset.batch_into(range.start, range.start + len, &mut x, &mut labels);
                             let eta = train.lr_scaling.eta(train.lr, len);
-                            match mlp.train_step(&x, labels.as_targets(), eta) {
+                            match gemm_pool.install(|| mlp.train_step(&x, labels.as_targets(), eta))
+                            {
                                 Ok(_) => break,
                                 Err(e) if len > 1 => {
                                     len /= 2;
@@ -641,7 +704,7 @@ impl ThreadedEngine {
                         // snapshot became while the device was computing.
                         let staleness = shared.update_count().saturating_sub(updates_at_snapshot);
                         let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
-                        let replica = mlp.download();
+                        mlp.download_into(&mut replica);
                         shared.merge_delta_scaled(&snapshot, &replica, scale);
                         let busy_end = t0.elapsed().as_secs_f64();
                         batches_done += 1;
@@ -777,6 +840,7 @@ mod tests {
                 grad_clip: None,
                 weight_decay: 0.0,
                 staleness_discount: 0.0,
+                rayon_threads: 0,
                 eval_interval: secs / 4.0,
                 eval_subsample: 200,
                 seed: 3,
@@ -895,6 +959,26 @@ mod tests {
         assert_eq!(r.requeued_batches, 0);
         assert!(r.aborted.is_none());
         assert!(r.workers.iter().all(|w| w.retired.is_none()));
+    }
+
+    #[test]
+    fn pool_oversubscription_counter_reports_excess_threads() {
+        // Deliberately request far more GEMM threads than any host has:
+        // the counter must report the excess (lanes + GPU GEMM fan-out
+        // beyond the host's cores).
+        let mut cfg = config(AlgorithmKind::CpuGpuHogbatch, 0.2);
+        cfg.train.rayon_threads = 1024;
+        let sink = TraceSink::wall(4096);
+        let _ = ThreadedEngine::new(cfg)
+            .unwrap()
+            .run_traced(dataset(), &sink);
+        let counters: std::collections::HashMap<String, f64> =
+            sink.drain().counters.iter().cloned().collect();
+        let over = counters
+            .get("engine.pool_oversubscription")
+            .copied()
+            .expect("counter missing");
+        assert!(over >= 512.0, "oversubscription not reported: {over}");
     }
 
     #[test]

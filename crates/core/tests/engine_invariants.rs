@@ -60,6 +60,7 @@ fn config(algo: AlgorithmKind, seed: u64) -> SimEngineConfig {
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: 0.01,
             eval_subsample: 256,
             seed,

@@ -65,6 +65,7 @@ fn config(algo: AlgorithmKind, secs: f64, plan: FaultPlan) -> ThreadedEngineConf
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: secs / 4.0,
             eval_subsample: 200,
             seed: 3,

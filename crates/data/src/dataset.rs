@@ -49,6 +49,32 @@ impl Labels {
         }
     }
 
+    /// Copy labels for examples `start..end` into `out`, reusing its
+    /// buffers — the allocation-free counterpart of [`slice`](Self::slice).
+    /// If `out` holds the wrong variant it is replaced (one-time cost).
+    pub fn slice_into(&self, start: usize, end: usize, out: &mut Labels) {
+        match self {
+            Labels::Classes(v) => {
+                if let Labels::Classes(dst) = out {
+                    dst.clear();
+                    dst.extend_from_slice(&v[start..end]);
+                } else {
+                    *out = Labels::Classes(v[start..end].to_vec());
+                }
+            }
+            Labels::MultiHot(m) => {
+                if let Labels::MultiHot(dst) = out {
+                    dst.resize(end - start, m.cols());
+                    for (i, row) in (start..end).enumerate() {
+                        dst.row_mut(i).copy_from_slice(m.row(row));
+                    }
+                } else {
+                    *out = Labels::MultiHot(m.slice_rows(start, end));
+                }
+            }
+        }
+    }
+
     /// Borrow as the `hetero-nn` target view.
     pub fn as_targets(&self) -> hetero_nn::Targets<'_> {
         match self {
@@ -120,6 +146,17 @@ impl DenseDataset {
     /// Batch view: features and labels for rows `start..end`.
     pub fn batch(&self, start: usize, end: usize) -> (Matrix, Labels) {
         (self.x.slice_rows(start, end), self.labels.slice(start, end))
+    }
+
+    /// Copy rows `start..end` into reused buffers — the allocation-free
+    /// counterpart of [`batch`](Self::batch): once `x`/`labels` have served
+    /// a batch at least this large, subsequent calls allocate nothing.
+    pub fn batch_into(&self, start: usize, end: usize, x: &mut Matrix, labels: &mut Labels) {
+        x.resize(end - start, self.x.cols());
+        for (i, row) in (start..end).enumerate() {
+            x.row_mut(i).copy_from_slice(self.x.row(row));
+        }
+        self.labels.slice_into(start, end, labels);
     }
 
     /// Deterministically shuffle examples in place (Fisher–Yates on a
@@ -264,6 +301,36 @@ mod tests {
     #[should_panic(expected = "feature rows")]
     fn mismatched_rows_panic() {
         DenseDataset::new("bad", Matrix::zeros(3, 2), Labels::Classes(vec![0, 1]));
+    }
+
+    #[test]
+    fn batch_into_matches_batch() {
+        let d = toy();
+        let mut x = Matrix::zeros(0, 0);
+        let mut labels = Labels::Classes(Vec::new());
+        // Warm at the largest batch, then reuse at smaller ones.
+        for (s, e) in [(1, 8), (2, 5), (0, 3)] {
+            d.batch_into(s, e, &mut x, &mut labels);
+            let (x_ref, l_ref) = d.batch(s, e);
+            assert_eq!(x, x_ref);
+            assert_eq!(labels, l_ref);
+        }
+    }
+
+    #[test]
+    fn batch_into_multihot_labels() {
+        let x = Matrix::from_fn(6, 2, |i, j| (i + j) as f32);
+        let mh = Matrix::from_fn(6, 3, |i, j| ((i + j) % 2) as f32);
+        let d = DenseDataset::new("mh", x, Labels::MultiHot(mh));
+        let mut bx = Matrix::zeros(0, 0);
+        // Wrong starting variant: replaced on first use, reused after.
+        let mut labels = Labels::Classes(Vec::new());
+        for (s, e) in [(0, 5), (2, 4)] {
+            d.batch_into(s, e, &mut bx, &mut labels);
+            let (x_ref, l_ref) = d.batch(s, e);
+            assert_eq!(bx, x_ref);
+            assert_eq!(labels, l_ref);
+        }
     }
 
     #[test]

@@ -178,8 +178,21 @@ impl GpuDevice {
     /// Copy a device buffer back to the host, accounting transfer time.
     pub fn d2h(&self, buf: BufferId) -> Vec<f32> {
         let h = self.mem.get(buf);
-        let data = h.read().clone();
-        let bytes = 4 * data.len() as u64;
+        let mut out = vec![0.0; h.read().len()];
+        self.d2h_into(buf, &mut out);
+        out
+    }
+
+    /// Copy a device buffer into an existing host slice (sizes must match),
+    /// accounting transfer time. The allocation-free counterpart of
+    /// [`d2h`](Self::d2h) used by steady-state training.
+    pub fn d2h_into(&self, buf: BufferId, out: &mut [f32]) {
+        let h = self.mem.get(buf);
+        let r = h.read();
+        assert_eq!(r.len(), out.len(), "d2h size mismatch");
+        out.copy_from_slice(&r);
+        drop(r);
+        let bytes = 4 * out.len() as u64;
         let mut t = self.transfers.lock();
         t.d2h_bytes += bytes;
         t.d2h_count += 1;
@@ -195,7 +208,6 @@ impl GpuDevice {
                 },
             );
         }
-        data
     }
 
     /// Account the virtual cost of one training step over `batch` examples

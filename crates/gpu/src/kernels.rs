@@ -4,8 +4,14 @@
 //! for real via `hetero-tensor`. Input buffers take read locks, the output
 //! takes a write lock — aliasing an input as the output would deadlock, as
 //! would in-place GEMM on a real GPU without workspace.
+//!
+//! All kernels run directly on the locked buffer slices through the
+//! slice-level `hetero-tensor` entry points, so the software GPU exercises
+//! the exact same runtime-dispatched SIMD microkernels as the host workers —
+//! no staging copies, no per-call allocation, and bit-consistent activation
+//! math across devices.
 
-use hetero_tensor::{gemm, ops, Matrix};
+use hetero_tensor::{gemm, ops};
 
 use crate::alloc::{BufferId, DeviceMemory};
 
@@ -25,11 +31,7 @@ pub fn gemm_nt(
     assert_eq!(ar.len(), m * k, "A dims");
     assert_eq!(br.len(), n * k, "B dims");
     assert_eq!(cw.len(), m * n, "C dims");
-    let am = Matrix::from_vec(m, k, ar.clone());
-    let bm = Matrix::from_vec(n, k, br.clone());
-    let mut cm = Matrix::zeros(m, n);
-    gemm::par_gemm_nt(1.0, &am, &bm, 0.0, &mut cm);
-    cw.copy_from_slice(cm.as_slice());
+    gemm::par_gemm_nt_slices(1.0, &ar, &br, 0.0, &mut cw, m, k, n);
 }
 
 /// `C ← Aᵀ·B` where A is `k×m` and B is `k×n` (weight gradient).
@@ -48,11 +50,7 @@ pub fn gemm_tn(
     assert_eq!(ar.len(), k * m, "A dims");
     assert_eq!(br.len(), k * n, "B dims");
     assert_eq!(cw.len(), m * n, "C dims");
-    let am = Matrix::from_vec(k, m, ar.clone());
-    let bm = Matrix::from_vec(k, n, br.clone());
-    let mut cm = Matrix::zeros(m, n);
-    gemm::par_gemm_tn(1.0, &am, &bm, 0.0, &mut cm);
-    cw.copy_from_slice(cm.as_slice());
+    gemm::par_gemm_tn_slices(1.0, &ar, &br, 0.0, &mut cw, k, m, n);
 }
 
 /// `C ← A·B` where A is `m×k` and B is `k×n` (delta backprop).
@@ -71,11 +69,7 @@ pub fn gemm_nn(
     assert_eq!(ar.len(), m * k, "A dims");
     assert_eq!(br.len(), k * n, "B dims");
     assert_eq!(cw.len(), m * n, "C dims");
-    let am = Matrix::from_vec(m, k, ar.clone());
-    let bm = Matrix::from_vec(k, n, br.clone());
-    let mut cm = Matrix::zeros(m, n);
-    gemm::par_gemm_nn(1.0, &am, &bm, 0.0, &mut cm);
-    cw.copy_from_slice(cm.as_slice());
+    gemm::par_gemm_nn_slices(1.0, &ar, &br, 0.0, &mut cw, m, k, n);
 }
 
 /// Broadcast-add a bias row vector to every row of an `m×n` buffer.
@@ -84,26 +78,16 @@ pub fn add_bias(mem: &DeviceMemory, x: BufferId, bias: BufferId, n: usize) {
     let mut xw = xh.write();
     let br = bh.read();
     assert_eq!(br.len(), n, "bias dims");
-    assert_eq!(xw.len() % n, 0, "matrix dims");
-    for row in xw.chunks_exact_mut(n) {
-        for (v, b) in row.iter_mut().zip(br.iter()) {
-            *v += b;
-        }
-    }
+    assert_eq!(xw.len() % n.max(1), 0, "matrix dims");
+    ops::add_row_broadcast_slice(&mut xw, n, &br);
 }
 
-/// Element-wise logistic sigmoid, in place.
+/// Element-wise logistic sigmoid, in place (same dispatched kernel the
+/// host workers use, so CPU and GPU activations agree bit-for-bit).
 pub fn sigmoid(mem: &DeviceMemory, x: BufferId) {
     let xh = mem.get(x);
     let mut xw = xh.write();
-    for v in xw.iter_mut() {
-        *v = if *v >= 0.0 {
-            1.0 / (1.0 + (-*v).exp())
-        } else {
-            let e = v.exp();
-            e / (1.0 + e)
-        };
-    }
+    ops::sigmoid_slice(&mut xw);
 }
 
 /// Row-wise numerically-stable softmax over an `m×n` buffer, in place.
@@ -111,18 +95,7 @@ pub fn softmax_rows(mem: &DeviceMemory, x: BufferId, n: usize) {
     let xh = mem.get(x);
     let mut xw = xh.write();
     assert_eq!(xw.len() % n.max(1), 0, "matrix dims");
-    for row in xw.chunks_exact_mut(n) {
-        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        if sum > 0.0 {
-            let inv = 1.0 / sum;
-            row.iter_mut().for_each(|v| *v *= inv);
-        }
-    }
+    ops::softmax_rows_slice(&mut xw, n);
 }
 
 /// `y ← y + alpha·x` over whole buffers (the SGD update kernel).
@@ -141,9 +114,7 @@ pub fn sigmoid_backward(mem: &DeviceMemory, activation: BufferId, delta: BufferI
     let ar = ah.read();
     let mut dw = dh.write();
     assert_eq!(ar.len(), dw.len(), "dims");
-    for (d, &a) in dw.iter_mut().zip(ar.iter()) {
-        *d *= a * (1.0 - a);
-    }
+    ops::mul_sigmoid_derivative_slice(&ar, &mut dw);
 }
 
 /// Column-sum of an `m×n` buffer into a length-`n` buffer (bias gradient).
@@ -152,12 +123,7 @@ pub fn col_sum(mem: &DeviceMemory, x: BufferId, out: BufferId, n: usize) {
     let xr = xh.read();
     let mut ow = oh.write();
     assert_eq!(ow.len(), n, "output dims");
-    ow.iter_mut().for_each(|v| *v = 0.0);
-    for row in xr.chunks_exact(n) {
-        for (o, v) in ow.iter_mut().zip(row) {
-            *o += v;
-        }
-    }
+    ops::col_sum_slice(&xr, n, &mut ow);
 }
 
 /// Scale a buffer in place.
@@ -169,6 +135,7 @@ pub fn scale(mem: &DeviceMemory, alpha: f32, x: BufferId) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetero_tensor::Matrix;
 
     fn mem() -> DeviceMemory {
         DeviceMemory::new(1 << 24)

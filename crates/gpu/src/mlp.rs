@@ -27,6 +27,70 @@ pub struct GpuMlp<'d> {
     /// Persistent gradient workspaces (same shapes as the parameters).
     grad_w: Vec<BufferId>,
     grad_b: Vec<BufferId>,
+    /// Persistent per-step scratch (batch, activations, deltas, host
+    /// staging). Sized on first step and reused while the batch size stays
+    /// the same, so steady-state steps perform no device or host
+    /// allocations. Cleared wholesale on any step error so an OOM retry at
+    /// a smaller batch starts from a clean pool.
+    scratch: StepScratch,
+}
+
+/// Reusable buffers for [`GpuMlp::train_step`]; `(BufferId, len)` slots are
+/// re-allocated only when the required length changes.
+struct StepScratch {
+    /// Device copy of the input batch.
+    x: Option<(BufferId, usize)>,
+    /// Per-layer activation buffers.
+    acts: Vec<Option<(BufferId, usize)>>,
+    /// Per-layer δ buffers (δ for layer l is written while layer l+1's is
+    /// still being read, so each layer owns its own buffer).
+    deltas: Vec<Option<(BufferId, usize)>>,
+    /// Host staging matrix for the output probabilities / output delta.
+    delta_host: Matrix,
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        StepScratch {
+            x: None,
+            acts: Vec::new(),
+            deltas: Vec::new(),
+            delta_host: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl StepScratch {
+    /// Return the buffer for `slot`, reusing it when the length matches and
+    /// re-allocating otherwise.
+    fn ensure(
+        dev: &GpuDevice,
+        slot: &mut Option<(BufferId, usize)>,
+        len: usize,
+    ) -> Result<BufferId, OomError> {
+        if let Some((buf, have)) = *slot {
+            if have == len {
+                return Ok(buf);
+            }
+            let _ = dev.mem().free(buf);
+            *slot = None;
+        }
+        let buf = dev.mem().alloc(len)?;
+        *slot = Some((buf, len));
+        Ok(buf)
+    }
+
+    /// Free every cached device buffer.
+    fn clear(&mut self, dev: &GpuDevice) {
+        for slot in std::iter::once(&mut self.x)
+            .chain(self.acts.iter_mut())
+            .chain(self.deltas.iter_mut())
+        {
+            if let Some((buf, _)) = slot.take() {
+                let _ = dev.mem().free(buf);
+            }
+        }
+    }
 }
 
 impl<'d> GpuMlp<'d> {
@@ -65,6 +129,7 @@ impl<'d> GpuMlp<'d> {
             biases,
             grad_w,
             grad_b,
+            scratch: StepScratch::default(),
         })
     }
 
@@ -75,12 +140,24 @@ impl<'d> GpuMlp<'d> {
 
     /// Read the device replica back to the host.
     pub fn download(&self) -> Model {
-        let mut flat = Vec::with_capacity(self.spec.num_params());
-        for (w, b) in self.weights.iter().zip(&self.biases) {
-            flat.extend_from_slice(&self.device.d2h(*w));
-            flat.extend_from_slice(&self.device.d2h(*b));
+        let mut model = Model::zeros_like(&self.spec);
+        self.download_into(&mut model);
+        model
+    }
+
+    /// Read the device replica into an existing host model, reusing its
+    /// buffers — the allocation-free counterpart of
+    /// [`download`](Self::download) used by steady-state worker loops.
+    pub fn download_into(&self, model: &mut Model) {
+        assert_eq!(model.spec(), &self.spec, "replica spec mismatch");
+        for (layer, (w, b)) in model
+            .layers_mut()
+            .iter_mut()
+            .zip(self.weights.iter().zip(&self.biases))
+        {
+            self.device.d2h_into(*w, layer.w.as_mut_slice());
+            self.device.d2h_into(*b, &mut layer.b);
         }
-        Model::unflatten(&self.spec, &flat)
     }
 
     /// Overwrite the device replica from a host model (refresh before a new
@@ -100,10 +177,31 @@ impl<'d> GpuMlp<'d> {
     /// One SGD step over batch `x` on the device; updates the replica in
     /// place and returns the batch loss.
     ///
-    /// The batch is transferred H2D; activations are allocated on device,
-    /// used, and freed (never leaving device memory, per §V); the loss is
-    /// read back from the output probabilities.
+    /// The batch is transferred H2D; activations and deltas live in
+    /// persistent device scratch (never leaving device memory, per §V) that
+    /// is reused across steps — a steady-state step at a fixed batch size
+    /// performs no device allocations and no host allocations. The loss is
+    /// read back from the output probabilities into reused host staging.
+    ///
+    /// On any error (device OOM) the whole scratch pool is released, so a
+    /// retry at a smaller batch size (the coordinator's batch-halving
+    /// fallback) starts against an empty pool.
     pub fn train_step(
+        &mut self,
+        x: &Matrix,
+        targets: Targets<'_>,
+        eta: f32,
+    ) -> Result<f32, OomError> {
+        match self.train_step_inner(x, targets, eta) {
+            Ok(loss) => Ok(loss),
+            Err(e) => {
+                self.scratch.clear(self.device);
+                Err(e)
+            }
+        }
+    }
+
+    fn train_step_inner(
         &mut self,
         x: &Matrix,
         targets: Targets<'_>,
@@ -115,27 +213,18 @@ impl<'d> GpuMlp<'d> {
         let dev = self.device;
         let dims = self.spec.layer_dims();
         let n_layers = dims.len();
+        self.scratch.acts.resize(n_layers, None);
+        self.scratch.deltas.resize(n_layers, None);
 
-        // --- Transfer the batch.
-        let x_buf = dev.h2d(x.as_slice())?;
+        // --- Transfer the batch into the (reused) device input buffer.
+        let x_buf = StepScratch::ensure(dev, &mut self.scratch.x, batch * self.spec.input_dim)?;
+        dev.h2d_into(x.as_slice(), x_buf);
 
         // --- Forward: activations stay on device.
         dev.note_kernel("forward");
         let mut acts: Vec<BufferId> = Vec::with_capacity(n_layers);
-        let cleanup = |dev: &GpuDevice, acts: &[BufferId], x_buf: BufferId| {
-            for &a in acts {
-                let _ = dev.mem().free(a);
-            }
-            let _ = dev.mem().free(x_buf);
-        };
         for (l, &(in_dim, out_dim)) in dims.iter().enumerate() {
-            let act = match dev.mem().alloc(batch * out_dim) {
-                Ok(a) => a,
-                Err(e) => {
-                    cleanup(dev, &acts, x_buf);
-                    return Err(e);
-                }
-            };
+            let act = StepScratch::ensure(dev, &mut self.scratch.acts[l], batch * out_dim)?;
             let input = if l == 0 { x_buf } else { acts[l - 1] };
             kernels::gemm_nt(
                 dev.mem(),
@@ -159,12 +248,13 @@ impl<'d> GpuMlp<'d> {
             acts.push(act);
         }
 
-        // --- Loss + output delta (probabilities come back to the host once).
-        let probs_flat = dev.d2h(acts[n_layers - 1]);
+        // --- Loss + output delta (probabilities come back to the host once,
+        //     into the reused staging matrix).
         let classes = self.spec.classes;
-        let probs = Matrix::from_vec(batch, classes, probs_flat);
-        let batch_loss = hetero_nn::loss(&probs, targets, self.spec.loss);
-        let mut delta_host = probs;
+        let delta_host = &mut self.scratch.delta_host;
+        delta_host.resize(batch, classes);
+        dev.d2h_into(acts[n_layers - 1], delta_host.as_mut_slice());
+        let batch_loss = hetero_nn::loss(delta_host, targets, self.spec.loss);
         let inv_b = if batch > 0 { 1.0 / batch as f32 } else { 0.0 };
         match targets {
             Targets::Classes(labels) => {
@@ -174,17 +264,13 @@ impl<'d> GpuMlp<'d> {
                 }
             }
             Targets::MultiHot(y) => {
-                hetero_tensor::ops::sub_assign(&mut delta_host, y);
+                hetero_tensor::ops::sub_assign(delta_host, y);
             }
         }
         hetero_tensor::ops::scale(inv_b, delta_host.as_mut_slice());
-        let mut delta = match dev.h2d(delta_host.as_slice()) {
-            Ok(d) => d,
-            Err(e) => {
-                cleanup(dev, &acts, x_buf);
-                return Err(e);
-            }
-        };
+        let mut delta =
+            StepScratch::ensure(dev, &mut self.scratch.deltas[n_layers - 1], batch * classes)?;
+        dev.h2d_into(self.scratch.delta_host.as_slice(), delta);
 
         // --- Backward + update, layer by layer.
         dev.note_kernel("backward");
@@ -203,14 +289,8 @@ impl<'d> GpuMlp<'d> {
             );
             kernels::col_sum(dev.mem(), delta, self.grad_b[l], out_dim);
             if l > 0 {
-                let prev = match dev.mem().alloc(batch * in_dim) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        let _ = dev.mem().free(delta);
-                        cleanup(dev, &acts, x_buf);
-                        return Err(e);
-                    }
-                };
+                let prev =
+                    StepScratch::ensure(dev, &mut self.scratch.deltas[l - 1], batch * in_dim)?;
                 kernels::gemm_nn(
                     dev.mem(),
                     delta,
@@ -221,15 +301,12 @@ impl<'d> GpuMlp<'d> {
                     in_dim,
                 );
                 kernels::sigmoid_backward(dev.mem(), acts[l - 1], prev);
-                let _ = dev.mem().free(delta);
                 delta = prev;
             }
             // SGD update on device.
             kernels::axpy(dev.mem(), -eta, self.grad_w[l], self.weights[l]);
             kernels::axpy(dev.mem(), -eta, self.grad_b[l], self.biases[l]);
         }
-        let _ = dev.mem().free(delta);
-        cleanup(dev, &acts, x_buf);
 
         // Virtual cost of the whole step on the modeled hardware.
         dev.account_step(self.spec.train_flops_per_example(), batch);
@@ -246,6 +323,7 @@ impl Drop for GpuMlp<'_> {
     /// when the replica goes away on an unwind path (a quarantined worker
     /// must not strand its memory).
     fn drop(&mut self) {
+        self.scratch.clear(self.device);
         for b in self
             .weights
             .drain(..)
@@ -323,14 +401,21 @@ mod tests {
     }
 
     #[test]
-    fn train_step_leaves_no_temp_allocations() {
+    fn steady_state_steps_reuse_device_scratch() {
         let dev = GpuDevice::v100();
         let host = host_model();
         let mut gpu = GpuMlp::upload(&dev, &host).unwrap();
-        let base = dev.mem().used_bytes();
         let (x, y) = batch();
+        // First step warms the scratch pool; every later step at the same
+        // batch size must neither allocate nor free device buffers.
         gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
-        assert_eq!(dev.mem().used_bytes(), base, "leaked device buffers");
+        let warmed = dev.mem().used_bytes();
+        let live = dev.mem().live_buffers();
+        for _ in 0..3 {
+            gpu.train_step(&x, Targets::Classes(&y), 0.1).unwrap();
+            assert_eq!(dev.mem().used_bytes(), warmed, "device scratch grew");
+            assert_eq!(dev.mem().live_buffers(), live, "buffer churn");
+        }
         gpu.destroy();
         assert_eq!(dev.mem().used_bytes(), 0);
     }

@@ -22,12 +22,12 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Apply the activation in place.
+    /// Apply the activation in place (SIMD-dispatched via `hetero-tensor`).
     pub fn apply(&self, m: &mut Matrix) {
         match self {
             Activation::Sigmoid => ops::sigmoid_inplace(m),
-            Activation::Relu => ops::map_inplace(m, |x| x.max(0.0)),
-            Activation::Tanh => ops::map_inplace(m, f32::tanh),
+            Activation::Relu => ops::relu_inplace(m),
+            Activation::Tanh => ops::tanh_inplace(m),
             Activation::Identity => {}
         }
     }
@@ -52,14 +52,15 @@ impl Activation {
         }
     }
 
-    /// Multiply `delta` in place by `f'(z)` computed from the stored output.
+    /// Multiply `delta` in place by `f'(z)` computed from the stored output
+    /// (fused, SIMD-dispatched kernels — no temporary derivative matrix).
     pub fn mul_derivative(&self, output: &Matrix, delta: &mut Matrix) {
         assert_eq!(output.shape(), delta.shape(), "activation shape mismatch");
-        if matches!(self, Activation::Identity) {
-            return;
-        }
-        for (d, &a) in delta.as_mut_slice().iter_mut().zip(output.as_slice()) {
-            *d *= self.derivative_from_output(a);
+        match self {
+            Activation::Sigmoid => ops::mul_sigmoid_derivative(output, delta),
+            Activation::Relu => ops::mul_relu_derivative(output, delta),
+            Activation::Tanh => ops::mul_tanh_derivative(output, delta),
+            Activation::Identity => {}
         }
     }
 }

@@ -19,11 +19,11 @@ use crate::spec::LossKind;
 /// A gradient has exactly the shape of the model it differentiates.
 pub type Gradient = Model;
 
-/// Compute `∂loss/∂z_out = (p − y)/B` for either loss kind.
-fn output_delta(probs: &Matrix, targets: Targets<'_>, kind: LossKind) -> Matrix {
+/// Compute `∂loss/∂z_out = (p − y)/B` into a caller-owned buffer.
+fn output_delta_into(probs: &Matrix, targets: Targets<'_>, kind: LossKind, delta: &mut Matrix) {
     let batch = probs.rows();
     let inv_b = if batch > 0 { 1.0 / batch as f32 } else { 0.0 };
-    let mut delta = probs.clone();
+    delta.copy_from(probs);
     match (kind, targets) {
         (LossKind::SoftmaxCrossEntropy, Targets::Classes(labels)) => {
             assert_eq!(labels.len(), batch, "label count != batch size");
@@ -34,17 +34,18 @@ fn output_delta(probs: &Matrix, targets: Targets<'_>, kind: LossKind) -> Matrix 
         }
         (LossKind::MultiLabelBce, Targets::MultiHot(y)) => {
             assert_eq!(y.shape(), probs.shape(), "multi-hot shape mismatch");
-            ops::sub_assign(&mut delta, y);
+            ops::sub_assign(delta, y);
         }
         _ => panic!("targets kind does not match the loss kind"),
     }
     ops::scale(inv_b, delta.as_mut_slice());
-    delta
 }
 
 /// Back-propagate through `model` given a completed forward `pass`.
 ///
-/// Returns the exact mean-loss gradient for the batch `x`.
+/// Returns the exact mean-loss gradient for the batch `x`. Allocates the
+/// gradient and scratch; steady-state loops use
+/// [`crate::workspace::Workspace`], which shares this exact code path.
 pub fn backward(
     model: &Model,
     x: &Matrix,
@@ -52,11 +53,50 @@ pub fn backward(
     targets: Targets<'_>,
     parallel: bool,
 ) -> Gradient {
+    let mut grad = Model::zeros_like(model.spec());
+    let mut delta = Matrix::zeros(0, 0);
+    let mut delta_next = Matrix::zeros(0, 0);
+    backward_with_scratch(
+        model,
+        x,
+        pass,
+        targets,
+        parallel,
+        &mut delta,
+        &mut delta_next,
+        &mut grad,
+    );
+    grad
+}
+
+/// Core backward pass writing into caller-owned buffers.
+///
+/// `delta`/`delta_next` are the ping-pong δ buffers (any shape; reshaped
+/// with [`Matrix::resize`]); `grad` must have the model's shape and is
+/// fully overwritten. Warmed buffers make this allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn backward_with_scratch(
+    model: &Model,
+    x: &Matrix,
+    pass: &ForwardPass,
+    targets: Targets<'_>,
+    parallel: bool,
+    delta: &mut Matrix,
+    delta_next: &mut Matrix,
+    grad: &mut Gradient,
+) {
     let n_layers = model.layers().len();
     assert_eq!(pass.activations.len(), n_layers, "stale forward pass");
-    let mut grad = Model::zeros_like(model.spec());
 
-    let mut delta = output_delta(pass.probs(), targets, model.spec().loss);
+    // The ping-pong below swaps the two scratch buffers once per hidden
+    // layer. With an odd layer count the swap count is odd and the buffers
+    // would exchange identities across calls — the buffer only ever sized
+    // batch×hidden would suddenly need batch×classes on the *next* call,
+    // reallocating in steady state. Count the swaps and undo the residual
+    // one at the end so each buffer sees the same size sequence every call.
+    let mut swapped = false;
+
+    output_delta_into(pass.probs(), targets, model.spec().loss, delta);
     for l in (0..n_layers).rev() {
         // Input to layer l: the previous layer's activation, or the batch.
         let input: &Matrix = if l == 0 { x } else { &pass.activations[l - 1] };
@@ -65,31 +105,34 @@ pub fn backward(
         {
             let gw = &mut grad.layers_mut()[l].w;
             if parallel {
-                gemm::par_gemm_tn(1.0, &delta, input, 0.0, gw);
+                gemm::par_gemm_tn(1.0, delta, input, 0.0, gw);
             } else {
-                gemm::gemm_tn(1.0, &delta, input, 0.0, gw);
+                gemm::gemm_tn(1.0, delta, input, 0.0, gw);
             }
         }
-        // ∇b = column sum of δ.
-        grad.layers_mut()[l].b = ops::col_sum(&delta);
+        // ∇b = column sum of δ, into the gradient's existing bias buffer.
+        ops::col_sum_into(delta, &mut grad.layers_mut()[l].b);
 
         if l > 0 {
             // δ_prev = (δ · W) ⊙ f'(a_prev)
             let w = &model.layers()[l].w;
-            let mut prev = Matrix::zeros(delta.rows(), w.cols());
+            delta_next.resize(delta.rows(), w.cols());
             if parallel {
-                gemm::par_gemm_nn(1.0, &delta, w, 0.0, &mut prev);
+                gemm::par_gemm_nn(1.0, delta, w, 0.0, delta_next);
             } else {
-                gemm::gemm_nn(1.0, &delta, w, 0.0, &mut prev);
+                gemm::gemm_nn(1.0, delta, w, 0.0, delta_next);
             }
             model
                 .spec()
                 .activation
-                .mul_derivative(&pass.activations[l - 1], &mut prev);
-            delta = prev;
+                .mul_derivative(&pass.activations[l - 1], delta_next);
+            std::mem::swap(delta, delta_next);
+            swapped = !swapped;
         }
     }
-    grad
+    if swapped {
+        std::mem::swap(delta, delta_next);
+    }
 }
 
 /// One-call loss + gradient for a batch — the worker-side "compute the

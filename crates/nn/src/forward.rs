@@ -56,7 +56,28 @@ impl ForwardPass {
 /// Uses the rayon-parallel GEMM kernels; pass `parallel = false` from
 /// contexts that manage their own thread-level parallelism (e.g. Hogwild
 /// threads each processing a sub-batch).
+///
+/// Allocates a fresh activation stack per call; the steady-state training
+/// loops reuse buffers via [`crate::workspace::Workspace`]. Both paths run
+/// through the same kernel sequence, so their results are bit-identical.
 pub fn forward(model: &Model, x: &Matrix, parallel: bool) -> ForwardPass {
+    let mut activations = Vec::new();
+    forward_into_buffers(model, x, parallel, &mut activations);
+    ForwardPass { activations }
+}
+
+/// Core forward pass writing into caller-owned activation buffers.
+///
+/// `activations` is resized to one matrix per layer; each matrix is
+/// reshaped with [`Matrix::resize`], so a warmed buffer set incurs no
+/// allocation. The bias-add is fused into the NT GEMM epilogue
+/// ([`gemm::gemm_nt_bias`]) — one pass over each pre-activation.
+pub(crate) fn forward_into_buffers(
+    model: &Model,
+    x: &Matrix,
+    parallel: bool,
+    activations: &mut Vec<Matrix>,
+) {
     assert_eq!(
         x.cols(),
         model.spec().input_dim,
@@ -66,29 +87,28 @@ pub fn forward(model: &Model, x: &Matrix, parallel: bool) -> ForwardPass {
     );
     let batch = x.rows();
     let n_layers = model.layers().len();
-    let mut activations = Vec::with_capacity(n_layers);
-    let mut input = x;
+    activations.resize_with(n_layers, || Matrix::zeros(0, 0));
     for (l, layer) in model.layers().iter().enumerate() {
         let out_dim = layer.w.rows();
-        let mut z = Matrix::zeros(batch, out_dim);
+        // Split so we can read the previous activation while writing this one.
+        let (head, tail) = activations.split_at_mut(l);
+        let z = &mut tail[0];
+        z.resize(batch, out_dim);
+        let input: &Matrix = if l == 0 { x } else { &head[l - 1] };
         if parallel {
-            gemm::par_gemm_nt(1.0, input, &layer.w, 0.0, &mut z);
+            gemm::par_gemm_nt_bias(1.0, input, &layer.w, &layer.b, z);
         } else {
-            gemm::gemm_nt(1.0, input, &layer.w, 0.0, &mut z);
+            gemm::gemm_nt_bias(1.0, input, &layer.w, &layer.b, z);
         }
-        ops::add_row_broadcast(&mut z, &layer.b);
         if l + 1 == n_layers {
             match model.spec().loss {
-                LossKind::SoftmaxCrossEntropy => ops::softmax_rows(&mut z),
-                LossKind::MultiLabelBce => ops::sigmoid_inplace(&mut z),
+                LossKind::SoftmaxCrossEntropy => ops::softmax_rows(&mut *z),
+                LossKind::MultiLabelBce => ops::sigmoid_inplace(&mut *z),
             }
         } else {
-            model.spec().activation.apply(&mut z);
+            model.spec().activation.apply(&mut *z);
         }
-        activations.push(z);
-        input = activations.last().expect("just pushed");
     }
-    ForwardPass { activations }
 }
 
 /// Mean loss of predicted probabilities against the targets.

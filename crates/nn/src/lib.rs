@@ -33,6 +33,7 @@ pub mod shared;
 pub mod sparse_input;
 pub mod spec;
 pub mod sync;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use backward::{backward, loss_and_gradient, Gradient};
@@ -43,3 +44,4 @@ pub use optim::{Optimizer, OptimizerKind};
 pub use shared::SharedModel;
 pub use sparse_input::{forward_sparse, loss_and_gradient_sparse};
 pub use spec::{LossKind, MlpSpec};
+pub use workspace::Workspace;

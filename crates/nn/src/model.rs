@@ -127,6 +127,16 @@ impl Model {
         model
     }
 
+    /// Overwrite this model's parameters from another model of the same
+    /// spec, reusing all existing buffers (no allocation).
+    pub fn copy_from(&mut self, other: &Model) {
+        assert_eq!(self.spec, other.spec, "copy_from spec mismatch");
+        for (layer, o) in self.layers.iter_mut().zip(&other.layers) {
+            layer.w.as_mut_slice().copy_from_slice(o.w.as_slice());
+            layer.b.copy_from_slice(&o.b);
+        }
+    }
+
     /// In-place SGD update: `self ← self - eta · grad`.
     pub fn apply_gradient(&mut self, grad: &Model, eta: f32) {
         assert_eq!(self.spec, grad.spec, "gradient for a different spec");

@@ -83,7 +83,29 @@ impl SharedModel {
     /// Deep-copy snapshot as a [`Model`] — what a GPU worker transfers to
     /// device memory, and what the coordinator evaluates the loss on.
     pub fn snapshot(&self) -> Model {
-        Model::unflatten(&self.spec, &self.read_flat())
+        let mut model = Model::zeros_like(&self.spec);
+        self.snapshot_into(&mut model);
+        model
+    }
+
+    /// Read the current parameters into an existing model, reusing its
+    /// buffers — the allocation-free counterpart of
+    /// [`snapshot`](Self::snapshot) used by steady-state worker loops.
+    pub fn snapshot_into(&self, model: &mut Model) {
+        assert_eq!(model.spec(), &self.spec, "snapshot spec mismatch");
+        let mut idx = 0;
+        // Relaxed: snapshot may interleave with writers by design; each
+        // element is still read tear-free (see module ordering note).
+        for layer in model.layers_mut() {
+            for v in layer.w.as_mut_slice() {
+                *v = f32::from_bits(self.params[idx].load(Ordering::Relaxed));
+                idx += 1;
+            }
+            for v in layer.b.iter_mut() {
+                *v = f32::from_bits(self.params[idx].load(Ordering::Relaxed));
+                idx += 1;
+            }
+        }
     }
 
     /// Overwrite the stored parameters from a model (merging a deep replica
@@ -171,12 +193,13 @@ impl SharedModel {
         assert_eq!(base.spec(), &self.spec, "base spec mismatch");
         assert_eq!(replica.spec(), &self.spec, "replica spec mismatch");
         assert!(scale.is_finite() && scale >= 0.0, "bad merge scale");
-        let b = base.flatten();
-        let r = replica.flatten();
-        for (p, (bv, rv)) in self.params.iter().zip(b.iter().zip(&r)) {
+        let mut idx = 0;
+        let mut merge = |bv: f32, rv: f32| {
+            let p = &self.params[idx];
+            idx += 1;
             let delta = scale * (rv - bv);
             if delta == 0.0 {
-                continue;
+                return;
             }
             // Relaxed CAS loop: same argument as `apply_gradient_atomic` —
             // the add must not be lost, but needs no ordering.
@@ -187,6 +210,14 @@ impl SharedModel {
                     Ok(_) => break,
                     Err(actual) => cur = actual,
                 }
+            }
+        };
+        for (bl, rl) in base.layers().iter().zip(replica.layers()) {
+            for (bv, rv) in bl.w.as_slice().iter().zip(rl.w.as_slice()) {
+                merge(*bv, *rv);
+            }
+            for (bv, rv) in bl.b.iter().zip(&rl.b) {
+                merge(*bv, *rv);
             }
         }
         // Relaxed: monitoring counter.
@@ -221,6 +252,18 @@ mod tests {
         let (m, s) = setup();
         assert_eq!(s.snapshot(), m);
         assert_eq!(s.num_params(), m.num_params());
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let (m, s) = setup();
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 1, 2.0);
+        grad.layers_mut()[1].b[1] = -1.0;
+        s.apply_gradient_racy(&grad, 0.1);
+        let mut out = Model::zeros_like(m.spec());
+        s.snapshot_into(&mut out);
+        assert_eq!(out, s.snapshot());
     }
 
     #[test]

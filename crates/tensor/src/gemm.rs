@@ -4,29 +4,98 @@
 //!
 //! | call | computes | used for |
 //! |---|---|---|
-//! | [`gemm_nn`] | `C ← α·A·B + β·C` | forward: `Z = X·Wᵀ` is expressed as NT; hidden chains |
+//! | [`gemm_nn`] | `C ← α·A·B + β·C` | backprop `δ·W`; hidden chains |
 //! | [`gemm_tn`] | `C ← α·Aᵀ·B + β·C` | weight gradient: `∇W = δᵀ·X` |
-//! | [`gemm_nt`] | `C ← α·A·Bᵀ + β·C` | forward with row-major weights; backprop `δ·W` |
+//! | [`gemm_nt`] | `C ← α·A·Bᵀ + β·C` | forward with row-major weights `X·Wᵀ` |
 //!
 //! Each has a cache-blocked serial implementation and a rayon-parallel
 //! wrapper ([`par_gemm_nn`], …) that splits the output rows across tasks:
 //! tasks write disjoint row slices, so the parallelism is race-free by
 //! construction (the rayon idiom from the workspace guides).
 //!
-//! The inner kernel iterates `i, k, j` so the innermost loop walks both `B`
-//! and `C` contiguously — this auto-vectorizes well and is the standard
-//! row-major micro-kernel shape.
+//! All serial kernels (and therefore every per-task body of the parallel
+//! wrappers) dispatch through [`crate::simd::active_level`]: AVX2+FMA
+//! register-tiled microkernels where the CPU supports them, portable scalar
+//! loops otherwise. The NN and TN paths stream *packed* operand panels —
+//! BLIS-style copies into thread-local buffers (`pack_b_panel` /
+//! `pack_a_panel`) so the SIMD inner loops read contiguous memory. The
+//! pack buffers are reused across calls, so steady-state GEMMs allocate
+//! nothing.
+//!
+//! [`gemm_nt_bias`] fuses the bias-add into the NT store epilogue
+//! (`C = α·A·Bᵀ + bias` broadcast per row), saving one full pass over the
+//! output in the forward pass.
+
+use std::cell::RefCell;
 
 use rayon::prelude::*;
 
+use crate::simd::{self, SimdLevel};
 use crate::Matrix;
 
 /// Row-block size for parallel partitioning.
 const PAR_ROW_BLOCK: usize = 32;
 /// K-panel blocking to keep the streamed panel of `B` in L2.
-const KB: usize = 256;
+pub(crate) const KB: usize = 256;
 /// J-panel blocking (columns of C/B) to keep the C row segment in L1.
 const JB: usize = 512;
+
+/// Minimum problem size (in multiply-adds, `m·n·k`) for the `par_gemm_*`
+/// wrappers to fan out across rayon tasks.
+///
+/// Below this the fork/join overhead of the pool outweighs the work: a
+/// 64³ product is ~260k FMAs ≈ a few microseconds, about the cost of
+/// dispatching a handful of rayon tasks. Smaller problems run the serial
+/// kernel inline on the calling thread.
+pub const PAR_MIN_MADDS: usize = 64 * 64 * 64;
+
+thread_local! {
+    /// Reused B-panel pack buffer (≤ `KB·16` floats; see `pack_b_panel`).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reused A-panel pack buffer for the TN kernel (see `pack_a_panel`).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Copy the `kblen×jw` strip `B[kb.., jb..jb+jw]` into `pack`
+/// row-contiguously (`pack[kk·jw + c] = B[kb+kk, jb+c]`): the BLIS-style
+/// B-panel the NN microkernel streams.
+pub(crate) fn pack_b_panel(
+    b: &[f32],
+    n: usize,
+    kb: usize,
+    kblen: usize,
+    jb: usize,
+    jw: usize,
+    pack: &mut Vec<f32>,
+) {
+    pack.resize(kblen * jw, 0.0);
+    for kk in 0..kblen {
+        let src = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + jw];
+        pack[kk * jw..(kk + 1) * jw].copy_from_slice(src);
+    }
+}
+
+/// Transpose-pack the `kblen×ilen` block `A[kb.., i_start..i_start+ilen]`
+/// into `pack` so row `i` of the chunk holds its k-slice contiguously
+/// (`pack[i·kblen + kk] = A[kb+kk, i_start+i]`). Lets the TN kernel walk
+/// both operands unit-stride.
+pub(crate) fn pack_a_panel(
+    a: &[f32],
+    m: usize,
+    kb: usize,
+    kblen: usize,
+    i_start: usize,
+    ilen: usize,
+    pack: &mut Vec<f32>,
+) {
+    pack.resize(ilen * kblen, 0.0);
+    for kk in 0..kblen {
+        let src = &a[(kb + kk) * m + i_start..(kb + kk) * m + i_start + ilen];
+        for (i, &v) in src.iter().enumerate() {
+            pack[i * kblen + kk] = v;
+        }
+    }
+}
 
 #[inline]
 fn check(op: &'static str, m: usize, n: usize, k: usize, kb: usize, c: &Matrix) {
@@ -48,9 +117,13 @@ fn scale_c(beta: f32, c: &mut [f32]) {
     }
 }
 
-/// Serial blocked kernel for `C[i,:] += alpha * sum_k A[i,k] B[k,:]` over a
+// ---------------------------------------------------------------------------
+// NN
+// ---------------------------------------------------------------------------
+
+/// Scalar blocked kernel for `C[i,:] += alpha * sum_k A[i,k] B[k,:]` over a
 /// row range of C. `a_rows` is the slice of A covering the same row range.
-fn kernel_nn(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+fn kernel_nn_scalar(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
     if n == 0 || k == 0 || c_rows.is_empty() {
         return;
     }
@@ -63,10 +136,9 @@ fn kernel_nn(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: 
                 let a_row = &a_rows[i * k..(i + 1) * k];
                 let c_row = &mut c_rows[i * n + jb..i * n + jend];
                 for kk in kb..kend {
+                    // No zero-skip branch here: it defeats vectorization of
+                    // the inner loop and mispredicts on dense data.
                     let aik = alpha * a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let b_row = &b[kk * n + jb..kk * n + jend];
                     for (cv, bv) in c_row.iter_mut().zip(b_row) {
                         *cv += aik * bv;
@@ -74,6 +146,19 @@ fn kernel_nn(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: 
                 }
             }
         }
+    }
+}
+
+/// Dispatched serial NN kernel body (no β handling).
+fn kernel_nn(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+    if n == 0 || k == 0 || c_rows.is_empty() {
+        return;
+    }
+    match simd::active_level() {
+        SimdLevel::Avx2 => PACK_B.with_borrow_mut(|pack| {
+            simd::gemm_nn(alpha, a_rows, b, n, k, c_rows, pack);
+        }),
+        SimdLevel::Scalar => kernel_nn_scalar(alpha, a_rows, b, n, k, c_rows),
     }
 }
 
@@ -85,8 +170,37 @@ pub fn gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     check("gemm_nn", m, n, k, kb, c);
-    scale_c(beta, c.as_mut_slice());
-    kernel_nn(alpha, a.as_slice(), b.as_slice(), n, k, c.as_mut_slice());
+    gemm_nn_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+    );
+}
+
+/// Slice-level `C ← α·A·B + β·C`: `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
+/// all row-major. Lets callers that own raw buffers (the software GPU)
+/// reach the dispatched kernels without copying into a [`Matrix`].
+#[allow(clippy::too_many_arguments)] // BLAS-style slice API: the 8 args ARE the interface
+pub fn gemm_nn_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn_slices: A length");
+    assert_eq!(b.len(), k * n, "gemm_nn_slices: B length");
+    assert_eq!(c.len(), m * n, "gemm_nn_slices: C length");
+    scale_c(beta, c);
+    kernel_nn(alpha, a, b, n, k, c);
 }
 
 /// `C ← α·A·B + β·C`, output rows split across rayon tasks.
@@ -94,51 +208,58 @@ pub fn par_gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     check("par_gemm_nn", m, n, k, kb, c);
-    if m * n * k < 64 * 64 * 64 {
+    par_gemm_nn_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+    );
+}
+
+/// Parallel [`gemm_nn_slices`]: same layout contract, rows split across
+/// rayon tasks (falls back to the serial kernel below [`PAR_MIN_MADDS`]).
+#[allow(clippy::too_many_arguments)] // see gemm_nn_slices
+pub fn par_gemm_nn_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m * n * k < PAR_MIN_MADDS {
         // Parallel dispatch costs more than it saves on tiny problems.
-        gemm_nn(alpha, a, b, beta, c);
+        gemm_nn_slices(alpha, a, b, beta, c, m, k, n);
         return;
     }
-    let bs = b.as_slice();
-    let a_all = a.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(PAR_ROW_BLOCK * n)
+    assert_eq!(a.len(), m * k, "par_gemm_nn_slices: A length");
+    assert_eq!(b.len(), k * n, "par_gemm_nn_slices: B length");
+    assert_eq!(c.len(), m * n, "par_gemm_nn_slices: C length");
+    c.par_chunks_mut(PAR_ROW_BLOCK * n)
         .enumerate()
         .for_each(|(blk, c_rows)| {
             scale_c(beta, c_rows);
             let row0 = blk * PAR_ROW_BLOCK;
             let rows = c_rows.len() / n;
-            let a_rows = &a_all[row0 * k..(row0 + rows) * k];
-            kernel_nn(alpha, a_rows, bs, n, k, c_rows);
+            let a_rows = &a[row0 * k..(row0 + rows) * k];
+            kernel_nn(alpha, a_rows, b, n, k, c_rows);
         });
 }
 
-/// `C ← α·Aᵀ·B + β·C` (serial).
-///
-/// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`. Implemented by iterating k in
-/// the outer loop (each k contributes a rank-1 update), blocked over k.
-pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
-    let (ka, m) = a.shape();
-    let (kb, n) = b.shape();
-    check("gemm_tn", m, n, ka, kb, c);
-    scale_c(beta, c.as_mut_slice());
-    kernel_tn(
-        alpha,
-        a.as_slice(),
-        b.as_slice(),
-        m,
-        n,
-        ka,
-        0,
-        m,
-        c.as_mut_slice(),
-    );
-}
+// ---------------------------------------------------------------------------
+// TN
+// ---------------------------------------------------------------------------
 
-/// Rank-1-accumulation kernel for TN over an output row range `[i0, i1)`.
-/// `c_rows` covers exactly those rows.
+/// Scalar rank-1-accumulation kernel for TN over an output row range
+/// `[i0, i1)`. `c_rows` covers exactly those rows.
 #[allow(clippy::too_many_arguments)]
-fn kernel_tn(
+fn kernel_tn_scalar(
     alpha: f32,
     a: &[f32],
     b: &[f32],
@@ -155,10 +276,9 @@ fn kernel_tn(
             let a_row = &a[kk * m..(kk + 1) * m];
             let b_row = &b[kk * n..(kk + 1) * n];
             for i in i0..i1 {
+                // Unconditional rank-1 update: a zero-skip branch here
+                // blocks vectorization (see kernel_nn_scalar).
                 let aik = alpha * a_row[i];
-                if aik == 0.0 {
-                    continue;
-                }
                 let c_row = &mut c_rows[(i - i0) * n..(i - i0 + 1) * n];
                 for (cv, bv) in c_row.iter_mut().zip(b_row) {
                     *cv += aik * bv;
@@ -168,41 +288,121 @@ fn kernel_tn(
     }
 }
 
+/// Dispatched TN kernel body over rows `[i0, i1)` (no β handling).
+#[allow(clippy::too_many_arguments)]
+fn kernel_tn(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    i1: usize,
+    c_rows: &mut [f32],
+) {
+    if n == 0 || k == 0 || i1 <= i0 {
+        return;
+    }
+    match simd::active_level() {
+        SimdLevel::Avx2 => PACK_A.with_borrow_mut(|pack| {
+            simd::gemm_tn(alpha, a, b, m, n, k, i0, i1, c_rows, pack);
+        }),
+        SimdLevel::Scalar => kernel_tn_scalar(alpha, a, b, m, n, k, i0, i1, c_rows),
+    }
+}
+
+/// `C ← α·Aᵀ·B + β·C` (serial).
+///
+/// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    check("gemm_tn", m, n, ka, kb, c);
+    gemm_tn_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        ka,
+        m,
+        n,
+    );
+}
+
+/// Slice-level `C ← α·Aᵀ·B + β·C`: `a` is `k×m`, `b` is `k×n`, `c` is
+/// `m×n`, all row-major.
+#[allow(clippy::too_many_arguments)] // see gemm_nn_slices
+pub fn gemm_tn_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn_slices: A length");
+    assert_eq!(b.len(), k * n, "gemm_tn_slices: B length");
+    assert_eq!(c.len(), m * n, "gemm_tn_slices: C length");
+    scale_c(beta, c);
+    kernel_tn(alpha, a, b, m, n, k, 0, m, c);
+}
+
 /// `C ← α·Aᵀ·B + β·C`, output rows split across rayon tasks.
 pub fn par_gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     let (ka, m) = a.shape();
     let (kb, n) = b.shape();
     check("par_gemm_tn", m, n, ka, kb, c);
-    if m * n * ka < 64 * 64 * 64 {
-        gemm_tn(alpha, a, b, beta, c);
+    par_gemm_tn_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        ka,
+        m,
+        n,
+    );
+}
+
+/// Parallel [`gemm_tn_slices`]: same layout contract, rows split across
+/// rayon tasks (serial below [`PAR_MIN_MADDS`]).
+#[allow(clippy::too_many_arguments)] // see gemm_nn_slices
+pub fn par_gemm_tn_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    if m * n * k < PAR_MIN_MADDS {
+        gemm_tn_slices(alpha, a, b, beta, c, k, m, n);
         return;
     }
-    let (a_s, b_s) = (a.as_slice(), b.as_slice());
-    c.as_mut_slice()
-        .par_chunks_mut(PAR_ROW_BLOCK * n)
+    assert_eq!(a.len(), k * m, "par_gemm_tn_slices: A length");
+    assert_eq!(b.len(), k * n, "par_gemm_tn_slices: B length");
+    assert_eq!(c.len(), m * n, "par_gemm_tn_slices: C length");
+    c.par_chunks_mut(PAR_ROW_BLOCK * n)
         .enumerate()
         .for_each(|(blk, c_rows)| {
             scale_c(beta, c_rows);
             let i0 = blk * PAR_ROW_BLOCK;
             let i1 = i0 + c_rows.len() / n;
-            kernel_tn(alpha, a_s, b_s, m, n, ka, i0, i1, c_rows);
+            kernel_tn(alpha, a, b, m, n, k, i0, i1, c_rows);
         });
 }
 
-/// `C ← α·A·Bᵀ + β·C` (serial).
-///
-/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Both operands are walked along
-/// contiguous rows, so this is a dot-product kernel — the natural layout for
-/// `X·Wᵀ` with row-major weight matrices `W[out][in]`.
-pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
-    let (m, ka) = a.shape();
-    let (n, kb) = b.shape();
-    check("gemm_nt", m, n, ka, kb, c);
-    scale_c(beta, c.as_mut_slice());
-    kernel_nt(alpha, a.as_slice(), b.as_slice(), n, ka, c.as_mut_slice());
-}
+// ---------------------------------------------------------------------------
+// NT
+// ---------------------------------------------------------------------------
 
-fn kernel_nt(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+fn kernel_nt_scalar(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
     if n == 0 || k == 0 || c_rows.is_empty() {
         return;
     }
@@ -231,13 +431,151 @@ fn kernel_nt(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: 
     }
 }
 
-/// `C ← α·A·Bᵀ + β·C`, output rows split across rayon tasks.
-pub fn par_gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+/// Scalar NT with the bias-add fused into the store (`C = α·A·Bᵀ + bias`).
+fn kernel_nt_bias_scalar(
+    alpha: f32,
+    a_rows: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    n: usize,
+    k: usize,
+    c_rows: &mut [f32],
+) {
+    if n == 0 || c_rows.is_empty() {
+        return;
+    }
+    let rows = c_rows.len() / n;
+    for i in 0..rows {
+        let a_row = &a_rows[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c_rows[i * n + j] = alpha * acc + bias[j];
+        }
+    }
+}
+
+/// Dispatched serial NT kernel body (no β handling).
+fn kernel_nt(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32]) {
+    if n == 0 || k == 0 || c_rows.is_empty() {
+        return;
+    }
+    match simd::active_level() {
+        SimdLevel::Avx2 => simd::gemm_nt(alpha, a_rows, b, n, k, c_rows),
+        SimdLevel::Scalar => kernel_nt_scalar(alpha, a_rows, b, n, k, c_rows),
+    }
+}
+
+fn kernel_nt_bias(
+    alpha: f32,
+    a_rows: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    n: usize,
+    k: usize,
+    c_rows: &mut [f32],
+) {
+    if n == 0 || c_rows.is_empty() {
+        return;
+    }
+    match simd::active_level() {
+        SimdLevel::Avx2 => simd::gemm_nt_bias(alpha, a_rows, b, bias, n, k, c_rows),
+        SimdLevel::Scalar => kernel_nt_bias_scalar(alpha, a_rows, b, bias, n, k, c_rows),
+    }
+}
+
+/// `C ← α·A·Bᵀ + β·C` (serial).
+///
+/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Both operands are walked along
+/// contiguous rows, so this is a dot-product kernel — the natural layout for
+/// `X·Wᵀ` with row-major weight matrices `W[out][in]`.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     let (m, ka) = a.shape();
     let (n, kb) = b.shape();
-    check("par_gemm_nt", m, n, ka, kb, c);
-    if m * n * ka < 64 * 64 * 64 {
-        gemm_nt(alpha, a, b, beta, c);
+    check("gemm_nt", m, n, ka, kb, c);
+    gemm_nt_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        m,
+        ka,
+        n,
+    );
+}
+
+/// Slice-level `C ← α·A·Bᵀ + β·C`: `a` is `m×k`, `b` is `n×k`, `c` is
+/// `m×n`, all row-major.
+#[allow(clippy::too_many_arguments)] // see gemm_nn_slices
+pub fn gemm_nt_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt_slices: A length");
+    assert_eq!(b.len(), n * k, "gemm_nt_slices: B length");
+    assert_eq!(c.len(), m * n, "gemm_nt_slices: C length");
+    scale_c(beta, c);
+    kernel_nt(alpha, a, b, n, k, c);
+}
+
+/// `C ← α·A·Bᵀ + bias` with the row-broadcast bias-add fused into the GEMM
+/// epilogue (β = 0 semantics: `C` is overwritten). One pass over `C`
+/// instead of a GEMM pass plus a broadcast pass.
+///
+/// # Panics
+/// Panics on shape mismatch or `bias.len() != b.rows()`.
+pub fn gemm_nt_bias(alpha: f32, a: &Matrix, b: &Matrix, bias: &[f32], c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check("gemm_nt_bias", m, n, ka, kb, c);
+    assert_eq!(
+        bias.len(),
+        n,
+        "gemm_nt_bias: bias length {} != {n}",
+        bias.len()
+    );
+    kernel_nt_bias(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        bias,
+        n,
+        ka,
+        c.as_mut_slice(),
+    );
+}
+
+/// Parallel [`gemm_nt_bias`]: output rows split across rayon tasks.
+pub fn par_gemm_nt_bias(alpha: f32, a: &Matrix, b: &Matrix, bias: &[f32], c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check("par_gemm_nt_bias", m, n, ka, kb, c);
+    assert_eq!(
+        bias.len(),
+        n,
+        "par_gemm_nt_bias: bias length {} != {n}",
+        bias.len()
+    );
+    if m * n * ka < PAR_MIN_MADDS {
+        kernel_nt_bias(
+            alpha,
+            a.as_slice(),
+            b.as_slice(),
+            bias,
+            n,
+            ka,
+            c.as_mut_slice(),
+        );
         return;
     }
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
@@ -245,17 +583,64 @@ pub fn par_gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix
         .par_chunks_mut(PAR_ROW_BLOCK * n)
         .enumerate()
         .for_each(|(blk, c_rows)| {
-            scale_c(beta, c_rows);
             let row0 = blk * PAR_ROW_BLOCK;
             let rows = c_rows.len() / n;
-            kernel_nt(
+            kernel_nt_bias(
                 alpha,
                 &a_s[row0 * ka..(row0 + rows) * ka],
                 b_s,
+                bias,
                 n,
                 ka,
                 c_rows,
             );
+        });
+}
+
+/// `C ← α·A·Bᵀ + β·C`, output rows split across rayon tasks.
+pub fn par_gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    check("par_gemm_nt", m, n, ka, kb, c);
+    par_gemm_nt_slices(
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        beta,
+        c.as_mut_slice(),
+        m,
+        ka,
+        n,
+    );
+}
+
+/// Parallel [`gemm_nt_slices`]: same layout contract, rows split across
+/// rayon tasks (serial below [`PAR_MIN_MADDS`]).
+#[allow(clippy::too_many_arguments)] // see gemm_nn_slices
+pub fn par_gemm_nt_slices(
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m * n * k < PAR_MIN_MADDS {
+        gemm_nt_slices(alpha, a, b, beta, c, m, k, n);
+        return;
+    }
+    assert_eq!(a.len(), m * k, "par_gemm_nt_slices: A length");
+    assert_eq!(b.len(), n * k, "par_gemm_nt_slices: B length");
+    assert_eq!(c.len(), m * n, "par_gemm_nt_slices: C length");
+    c.par_chunks_mut(PAR_ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            scale_c(beta, c_rows);
+            let row0 = blk * PAR_ROW_BLOCK;
+            let rows = c_rows.len() / n;
+            kernel_nt(alpha, &a[row0 * k..(row0 + rows) * k], b, n, k, c_rows);
         });
 }
 
@@ -269,8 +654,21 @@ pub fn gemm_reference(
     beta: f32,
     c: &mut Matrix,
 ) {
-    let a = if ta { a.transpose() } else { a.clone() };
-    let b = if tb { b.transpose() } else { b.clone() };
+    // Only materialize a transposed copy when one is actually requested.
+    let at;
+    let a = if ta {
+        at = a.transpose();
+        &at
+    } else {
+        a
+    };
+    let bt;
+    let b = if tb {
+        bt = b.transpose();
+        &bt
+    } else {
+        b
+    };
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb);
@@ -349,6 +747,78 @@ mod tests {
             gemm_reference(0.9, &a, false, &b, true, 1.0, &mut c_ref);
             assert_close(&c, &c_ref, 1e-4);
         }
+    }
+
+    #[test]
+    fn nt_bias_fusion_matches_unfused() {
+        for &(m, k, n) in &[(1, 3, 2), (13, 29, 17), (33, 64, 40)] {
+            let a = rand_mat(m, k, 12);
+            let b = rand_mat(n, k, 13);
+            let bias: Vec<f32> = (0..n).map(|j| (j as f32 * 0.37).sin()).collect();
+            let mut fused = Matrix::full(m, n, f32::NAN); // must be overwritten
+            gemm_nt_bias(1.0, &a, &b, &bias, &mut fused);
+            let mut split = Matrix::zeros(m, n);
+            gemm_nt(1.0, &a, &b, 0.0, &mut split);
+            crate::ops::add_row_broadcast(&mut split, &bias);
+            assert_close(&fused, &split, 1e-5);
+            let mut par = Matrix::full(m, n, f32::NAN);
+            par_gemm_nt_bias(1.0, &a, &b, &bias, &mut par);
+            assert_close(&par, &split, 1e-5);
+        }
+    }
+
+    #[test]
+    fn slice_entry_points_match_matrix_api() {
+        let (m, k, n) = (9, 14, 11);
+        let a = rand_mat(m, k, 30);
+        let b = rand_mat(k, n, 31);
+        let mut c1 = rand_mat(m, n, 32);
+        let mut c2 = c1.clone();
+        gemm_nn(0.6, &a, &b, 0.4, &mut c1);
+        gemm_nn_slices(
+            0.6,
+            a.as_slice(),
+            b.as_slice(),
+            0.4,
+            c2.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        assert_eq!(c1, c2);
+
+        let bt = b.transpose(); // n×k
+        let mut c3 = rand_mat(m, n, 34);
+        let mut c3_ref = c3.clone();
+        gemm_nt(0.8, &a, &bt, 0.2, &mut c3_ref);
+        gemm_nt_slices(
+            0.8,
+            a.as_slice(),
+            bt.as_slice(),
+            0.2,
+            c3.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        assert_eq!(c3, c3_ref);
+
+        // A is m×k used transposed: result is k×n from a (m×n) right operand.
+        let x = rand_mat(m, n, 33);
+        let mut c4 = Matrix::zeros(k, n);
+        let mut c4_ref = Matrix::zeros(k, n);
+        gemm_tn(1.0, &a, &x, 0.0, &mut c4_ref);
+        gemm_tn_slices(
+            1.0,
+            a.as_slice(),
+            x.as_slice(),
+            0.0,
+            c4.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        assert_eq!(c4, c4_ref);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod gemm;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 pub mod sparse;
 
 pub use matrix::Matrix;

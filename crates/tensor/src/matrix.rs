@@ -46,6 +46,35 @@ impl Matrix {
         m
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing allocation
+    /// whenever the capacity suffices.
+    ///
+    /// Existing element values are **not** meaningful after the call (the
+    /// prefix keeps stale data, any grown tail is zero) — callers are
+    /// expected to overwrite the whole matrix, e.g. via a β=0 GEMM. This is
+    /// the building block for the reusable training workspaces: steady-state
+    /// reshapes to the same (or smaller) size never touch the allocator.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copy `other`'s shape and contents into `self`, reusing the existing
+    /// allocation when possible (allocation-free once warmed up).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.resize(other.data.len(), 0.0);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Current buffer capacity in elements (used by workspace reuse
+    /// debug-assertions to detect unexpected reallocation).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Build from an existing row-major buffer.
     ///
     /// # Panics

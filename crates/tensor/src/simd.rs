@@ -1,0 +1,1115 @@
+//! Runtime-dispatched SIMD kernels (AVX2 + FMA) with scalar fallbacks.
+//!
+//! The GEMM and element-wise hot loops in [`crate::gemm`] and [`crate::ops`]
+//! dispatch through [`active_level`]: on an x86-64 host where
+//! `is_x86_feature_detected!` confirms AVX2 and FMA they run the explicit
+//! 8-lane (`f32x8`) microkernels in this module; everywhere else they run
+//! the portable scalar kernels that live next to the call sites.
+//!
+//! Dispatch is resolved once per process (a relaxed atomic memo) from CPU
+//! detection plus the `HETERO_SIMD` environment variable:
+//!
+//! | `HETERO_SIMD` | effect |
+//! |---|---|
+//! | `0` / `off` / `scalar` | force the portable scalar path |
+//! | `1` / `on` / `avx2` | request AVX2 (clamped to what the CPU supports) |
+//! | unset / anything else | auto: use AVX2 iff detected |
+//!
+//! Tests and benches that need *both* paths in one process use
+//! [`with_level`], a thread-scoped override (the global memo is shared
+//! state; a scoped override keeps concurrently-running tests independent).
+//!
+//! Register-tile shapes (chosen so accumulators + operands fit the 16
+//! ymm registers):
+//!
+//! - **NN** (`C += α·A·B`): 4×16 tiles — 4 broadcast lanes of `A` against a
+//!   16-column strip of `B` that [`crate::gemm`] has packed contiguously
+//!   (BLIS-style B-panel packing), 8 FMA accumulators.
+//! - **NT** (`C += α·A·Bᵀ`): 4×2 dot-product tiles — both operands stream
+//!   contiguous rows, 8 full-width partial-dot accumulators reduced
+//!   horizontally once per tile.
+//! - **TN** (`C += α·Aᵀ·B`): 2×16 tiles over an A panel that `gemm` packs
+//!   transposed, so the k-loop reads both operands contiguously.
+//!
+//! Safety discipline: every `unsafe` block in this module carries a SAFETY
+//! comment, and every function that touches an intrinsic is annotated
+//! `#[target_feature(enable = "avx2,fma")]` — `cargo xtask lint` enforces
+//! both rules.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family [`active_level`] resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar kernels (the reference semantics).
+    Scalar,
+    /// AVX2 + FMA microkernels in this module.
+    Avx2,
+}
+
+const UNRESOLVED: u8 = 0;
+const LEVEL_SCALAR: u8 = 1;
+const LEVEL_AVX2: u8 = 2;
+
+// Ordering discipline for this file: `GLOBAL_LEVEL` is a write-once memo of
+// a pure function of the host CPU and the `HETERO_SIMD` variable. Racing
+// initializers compute identical values, and no other memory depends on the
+// store, so every access can be `Relaxed` — atomicity alone is enough.
+static GLOBAL_LEVEL: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+thread_local! {
+    /// Thread-scoped override installed by [`with_level`]; `UNRESOLVED`
+    /// means "defer to the global memo".
+    static THREAD_OVERRIDE: Cell<u8> = const { Cell::new(UNRESOLVED) };
+}
+
+/// True when the running CPU supports the AVX2+FMA kernels.
+pub fn host_supports_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn clamp_to_host(level: SimdLevel) -> u8 {
+    match level {
+        SimdLevel::Avx2 if host_supports_avx2() => LEVEL_AVX2,
+        _ => LEVEL_SCALAR,
+    }
+}
+
+#[cold]
+fn resolve_global() -> u8 {
+    let requested = match std::env::var("HETERO_SIMD").as_deref() {
+        Ok("0") | Ok("off") | Ok("scalar") => SimdLevel::Scalar,
+        _ => SimdLevel::Avx2, // auto and explicit "on" both clamp to the host
+    };
+    let level = clamp_to_host(requested);
+    // Relaxed store: see the ordering note at the top of the file.
+    GLOBAL_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+/// The kernel family the current thread should run.
+///
+/// Checks the thread-scoped [`with_level`] override first, then the cached
+/// process-wide resolution (CPU detection + `HETERO_SIMD`).
+#[inline]
+pub fn active_level() -> SimdLevel {
+    let t = THREAD_OVERRIDE.with(Cell::get);
+    let raw = if t != UNRESOLVED {
+        t
+    } else {
+        // Relaxed load: see the ordering note at the top of the file.
+        match GLOBAL_LEVEL.load(Ordering::Relaxed) {
+            UNRESOLVED => resolve_global(),
+            resolved => resolved,
+        }
+    };
+    if raw == LEVEL_AVX2 {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Run `f` with the dispatch level forced for the current thread.
+///
+/// Requests for [`SimdLevel::Avx2`] are clamped to what the host supports,
+/// so the closure can never execute instructions the CPU lacks. The
+/// override does not propagate to threads spawned inside `f` (rayon tasks
+/// fall back to the global resolution); use `HETERO_SIMD` to force a whole
+/// process.
+pub fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(Cell::get);
+    let _restore = Restore(prev);
+    THREAD_OVERRIDE.with(|c| c.set(clamp_to_host(level)));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Safe crate-internal entry points. `gemm`/`ops` call these only after
+// `active_level()` returned `Avx2`, which implies the CPUID check passed.
+// ---------------------------------------------------------------------------
+
+macro_rules! avx2_entry {
+    ($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* $(,)? )) => {
+        $(#[$doc])*
+        #[cfg(target_arch = "x86_64")]
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name($($arg: $ty),*) {
+            // SAFETY: callers dispatch here only when `active_level()`
+            // returned `Avx2`, which requires `is_x86_feature_detected!`
+            // to have confirmed both AVX2 and FMA on this CPU.
+            unsafe { imp::$name($($arg),*) }
+        }
+        $(#[$doc])*
+        #[cfg(not(target_arch = "x86_64"))]
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name($(_: $ty),*) {
+            unreachable!("AVX2 kernels are never dispatched off x86-64")
+        }
+    };
+}
+
+avx2_entry!(
+    /// `C[rows×n] += α·A[rows×k]·B[n×k]ᵀ` (dot-product NT kernel).
+    gemm_nt(alpha: f32, a_rows: &[f32], b: &[f32], n: usize, k: usize, c_rows: &mut [f32])
+);
+avx2_entry!(
+    /// `C[rows×n] = α·A[rows×k]·B[n×k]ᵀ + bias` (NT with the bias-add fused
+    /// into the store epilogue; overwrites `C`, i.e. β = 0 semantics).
+    gemm_nt_bias(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+    )
+);
+avx2_entry!(
+    /// `C[rows×n] += α·A[rows×k]·B[k×n]`, streaming B through the packed
+    /// panel buffer `pack` (filled via `pack_b_panel` in `crate::gemm`).
+    gemm_nn(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+        pack: &mut Vec<f32>,
+    )
+);
+avx2_entry!(
+    /// `C[i0..i1, :] += α·(A[k×m])ᵀ·B[k×n]` over the row range `[i0, i1)`;
+    /// `c_rows` covers exactly those rows. A panels are packed transposed
+    /// into `pack` so the k-loop is contiguous on both operands.
+    gemm_tn(
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        n: usize,
+        k: usize,
+        i0: usize,
+        i1: usize,
+        c_rows: &mut [f32],
+        pack: &mut Vec<f32>,
+    )
+);
+avx2_entry!(
+    /// `y += α·x` (mul+add, bit-identical to the scalar loop).
+    axpy(alpha: f32, x: &[f32], y: &mut [f32])
+);
+avx2_entry!(
+    /// `y = α·x + β·y` (bit-identical to the scalar loop).
+    axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32])
+);
+avx2_entry!(
+    /// `x *= α`.
+    scale(alpha: f32, x: &mut [f32])
+);
+avx2_entry!(
+    /// `a *= b` element-wise.
+    hadamard_assign(a: &mut [f32], b: &[f32])
+);
+avx2_entry!(
+    /// `out = a ⊙ b` element-wise.
+    hadamard(a: &[f32], b: &[f32], out: &mut [f32])
+);
+avx2_entry!(
+    /// Add `row` to every `cols`-wide row of `m`.
+    add_row_broadcast(m: &mut [f32], cols: usize, row: &[f32])
+);
+avx2_entry!(
+    /// Accumulate every `cols`-wide row of `m` into `out` (adds in row
+    /// order, bit-identical to the scalar column sum).
+    col_sum_into(m: &[f32], cols: usize, out: &mut [f32])
+);
+avx2_entry!(
+    /// In-place logistic sigmoid via the polynomial `exp` (≈1e-7 relative
+    /// accuracy; *not* bit-identical to the scalar libm path).
+    sigmoid(xs: &mut [f32])
+);
+avx2_entry!(
+    /// In-place tanh via the polynomial `exp` (≈1e-6 absolute accuracy).
+    tanh(xs: &mut [f32])
+);
+avx2_entry!(
+    /// In-place ReLU: `x = max(x, 0)`.
+    relu(xs: &mut [f32])
+);
+avx2_entry!(
+    /// `delta *= a·(1−a)` — sigmoid derivative from the stored output.
+    mul_sigmoid_deriv(out: &[f32], delta: &mut [f32])
+);
+avx2_entry!(
+    /// `delta *= 1−a²` — tanh derivative from the stored output.
+    mul_tanh_deriv(out: &[f32], delta: &mut [f32])
+);
+avx2_entry!(
+    /// `delta` zeroed wherever `a ≤ 0` — ReLU derivative.
+    mul_relu_deriv(out: &[f32], delta: &mut [f32])
+);
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    use crate::gemm::{pack_a_panel, pack_b_panel, KB};
+
+    /// Row-chunk of packed A processed per TN panel (packed chunk =
+    /// `TN_MC·KB` floats ≈ 64 KiB, comfortably L2-resident).
+    const TN_MC: usize = 64;
+
+    // --- tiny helpers ------------------------------------------------------
+
+    /// Unaligned 8-lane load from `s[off..off+8]`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn load8(s: &[f32], off: usize) -> __m256 {
+        debug_assert!(off + 8 <= s.len());
+        // SAFETY: every caller advances `off` in steps of 8 while
+        // `off + 8 <= s.len()` (debug-asserted); `loadu` needs no alignment.
+        unsafe { _mm256_loadu_ps(s.as_ptr().add(off)) }
+    }
+
+    /// Unaligned 8-lane store to `s[off..off+8]`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn store8(s: &mut [f32], off: usize, v: __m256) {
+        debug_assert!(off + 8 <= s.len());
+        // SAFETY: same bounds discipline as `load8`.
+        unsafe { _mm256_storeu_ps(s.as_mut_ptr().add(off), v) }
+    }
+
+    /// Horizontal sum of all 8 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    fn hsum(v: __m256) -> f32 {
+        let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(d, _mm_shuffle_ps(d, d, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Full-width dot product of `a[..k]·b[..k]` (vector body + scalar tail).
+    #[target_feature(enable = "avx2,fma")]
+    fn dot1(a: &[f32], b: &[f32], k: usize) -> f32 {
+        let k8 = k & !7;
+        let mut s = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < k8 {
+            s = _mm256_fmadd_ps(load8(a, p), load8(b, p), s);
+            p += 8;
+        }
+        let mut d = hsum(s);
+        for p in k8..k {
+            d += a[p] * b[p];
+        }
+        d
+    }
+
+    // --- NT: C += alpha * A · Bᵀ  (dot-product kernel) ----------------------
+
+    /// Shared NT body; `BIAS` selects the fused bias-add epilogue
+    /// (`C = α·A·Bᵀ + bias`, overwriting) versus plain accumulation.
+    #[target_feature(enable = "avx2,fma")]
+    fn nt_body<const BIAS: bool>(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+    ) {
+        if n == 0 || c_rows.is_empty() {
+            return;
+        }
+        let rows = c_rows.len() / n;
+        let k8 = k & !7;
+        let mut i = 0;
+        // 4×2 register tile: 8 partial-dot accumulators.
+        while i + 4 <= rows {
+            let a0 = &a_rows[i * k..(i + 1) * k];
+            let a1 = &a_rows[(i + 1) * k..(i + 2) * k];
+            let a2 = &a_rows[(i + 2) * k..(i + 3) * k];
+            let a3 = &a_rows[(i + 3) * k..(i + 4) * k];
+            let mut j = 0;
+            while j + 2 <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let mut s00 = _mm256_setzero_ps();
+                let mut s01 = _mm256_setzero_ps();
+                let mut s10 = _mm256_setzero_ps();
+                let mut s11 = _mm256_setzero_ps();
+                let mut s20 = _mm256_setzero_ps();
+                let mut s21 = _mm256_setzero_ps();
+                let mut s30 = _mm256_setzero_ps();
+                let mut s31 = _mm256_setzero_ps();
+                let mut p = 0;
+                while p < k8 {
+                    let vb0 = load8(b0, p);
+                    let vb1 = load8(b1, p);
+                    let va = load8(a0, p);
+                    s00 = _mm256_fmadd_ps(va, vb0, s00);
+                    s01 = _mm256_fmadd_ps(va, vb1, s01);
+                    let va = load8(a1, p);
+                    s10 = _mm256_fmadd_ps(va, vb0, s10);
+                    s11 = _mm256_fmadd_ps(va, vb1, s11);
+                    let va = load8(a2, p);
+                    s20 = _mm256_fmadd_ps(va, vb0, s20);
+                    s21 = _mm256_fmadd_ps(va, vb1, s21);
+                    let va = load8(a3, p);
+                    s30 = _mm256_fmadd_ps(va, vb0, s30);
+                    s31 = _mm256_fmadd_ps(va, vb1, s31);
+                    p += 8;
+                }
+                let mut d = [
+                    hsum(s00),
+                    hsum(s01),
+                    hsum(s10),
+                    hsum(s11),
+                    hsum(s20),
+                    hsum(s21),
+                    hsum(s30),
+                    hsum(s31),
+                ];
+                for p in k8..k {
+                    let (b0p, b1p) = (b0[p], b1[p]);
+                    d[0] += a0[p] * b0p;
+                    d[1] += a0[p] * b1p;
+                    d[2] += a1[p] * b0p;
+                    d[3] += a1[p] * b1p;
+                    d[4] += a2[p] * b0p;
+                    d[5] += a2[p] * b1p;
+                    d[6] += a3[p] * b0p;
+                    d[7] += a3[p] * b1p;
+                }
+                for (r, pair) in d.chunks_exact(2).enumerate() {
+                    let off = (i + r) * n + j;
+                    if BIAS {
+                        c_rows[off] = alpha * pair[0] + bias[j];
+                        c_rows[off + 1] = alpha * pair[1] + bias[j + 1];
+                    } else {
+                        c_rows[off] += alpha * pair[0];
+                        c_rows[off + 1] += alpha * pair[1];
+                    }
+                }
+                j += 2;
+            }
+            if j < n {
+                let bj = &b[j * k..(j + 1) * k];
+                for (r, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+                    let v = alpha * dot1(ar, bj, k);
+                    let off = (i + r) * n + j;
+                    if BIAS {
+                        c_rows[off] = v + bias[j];
+                    } else {
+                        c_rows[off] += v;
+                    }
+                }
+            }
+            i += 4;
+        }
+        // Row tail: plain vector dots.
+        while i < rows {
+            let ar = &a_rows[i * k..(i + 1) * k];
+            for j in 0..n {
+                let v = alpha * dot1(ar, &b[j * k..(j + 1) * k], k);
+                let off = i * n + j;
+                if BIAS {
+                    c_rows[off] = v + bias[j];
+                } else {
+                    c_rows[off] += v;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn gemm_nt(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+    ) {
+        nt_body::<false>(alpha, a_rows, b, &[], n, k, c_rows)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn gemm_nt_bias(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+    ) {
+        nt_body::<true>(alpha, a_rows, b, bias, n, k, c_rows)
+    }
+
+    // --- NN: C += alpha * A · B over packed B panels ------------------------
+
+    /// 16-column panel pass: rows of C gain `α·A[:, kb..kb+kblen]·panel`.
+    /// `pack` holds the strip `B[kb.., jb..jb+16]` row-contiguously.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn nn_panel16(
+        alpha_v: __m256,
+        a_rows: &[f32],
+        k: usize,
+        kb: usize,
+        kblen: usize,
+        pack: &[f32],
+        n: usize,
+        jb: usize,
+        c_rows: &mut [f32],
+        rows: usize,
+    ) {
+        let mut i = 0;
+        while i + 4 <= rows {
+            let mut acc00 = _mm256_setzero_ps();
+            let mut acc01 = _mm256_setzero_ps();
+            let mut acc10 = _mm256_setzero_ps();
+            let mut acc11 = _mm256_setzero_ps();
+            let mut acc20 = _mm256_setzero_ps();
+            let mut acc21 = _mm256_setzero_ps();
+            let mut acc30 = _mm256_setzero_ps();
+            let mut acc31 = _mm256_setzero_ps();
+            for kk in 0..kblen {
+                let vb0 = load8(pack, kk * 16);
+                let vb1 = load8(pack, kk * 16 + 8);
+                let va = _mm256_set1_ps(a_rows[i * k + kb + kk]);
+                acc00 = _mm256_fmadd_ps(va, vb0, acc00);
+                acc01 = _mm256_fmadd_ps(va, vb1, acc01);
+                let va = _mm256_set1_ps(a_rows[(i + 1) * k + kb + kk]);
+                acc10 = _mm256_fmadd_ps(va, vb0, acc10);
+                acc11 = _mm256_fmadd_ps(va, vb1, acc11);
+                let va = _mm256_set1_ps(a_rows[(i + 2) * k + kb + kk]);
+                acc20 = _mm256_fmadd_ps(va, vb0, acc20);
+                acc21 = _mm256_fmadd_ps(va, vb1, acc21);
+                let va = _mm256_set1_ps(a_rows[(i + 3) * k + kb + kk]);
+                acc30 = _mm256_fmadd_ps(va, vb0, acc30);
+                acc31 = _mm256_fmadd_ps(va, vb1, acc31);
+            }
+            let accs = [
+                (acc00, acc01),
+                (acc10, acc11),
+                (acc20, acc21),
+                (acc30, acc31),
+            ];
+            for (r, (lo, hi)) in accs.into_iter().enumerate() {
+                let off = (i + r) * n + jb;
+                store8(
+                    c_rows,
+                    off,
+                    _mm256_fmadd_ps(lo, alpha_v, load8(c_rows, off)),
+                );
+                store8(
+                    c_rows,
+                    off + 8,
+                    _mm256_fmadd_ps(hi, alpha_v, load8(c_rows, off + 8)),
+                );
+            }
+            i += 4;
+        }
+        while i < rows {
+            let mut lo = _mm256_setzero_ps();
+            let mut hi = _mm256_setzero_ps();
+            for kk in 0..kblen {
+                let va = _mm256_set1_ps(a_rows[i * k + kb + kk]);
+                lo = _mm256_fmadd_ps(va, load8(pack, kk * 16), lo);
+                hi = _mm256_fmadd_ps(va, load8(pack, kk * 16 + 8), hi);
+            }
+            let off = i * n + jb;
+            store8(
+                c_rows,
+                off,
+                _mm256_fmadd_ps(lo, alpha_v, load8(c_rows, off)),
+            );
+            store8(
+                c_rows,
+                off + 8,
+                _mm256_fmadd_ps(hi, alpha_v, load8(c_rows, off + 8)),
+            );
+            i += 1;
+        }
+    }
+
+    /// 8-column variant of [`nn_panel16`].
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn nn_panel8(
+        alpha_v: __m256,
+        a_rows: &[f32],
+        k: usize,
+        kb: usize,
+        kblen: usize,
+        pack: &[f32],
+        n: usize,
+        jb: usize,
+        c_rows: &mut [f32],
+        rows: usize,
+    ) {
+        let mut i = 0;
+        while i + 4 <= rows {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for kk in 0..kblen {
+                let vb = load8(pack, kk * 8);
+                acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a_rows[i * k + kb + kk]), vb, acc0);
+                acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a_rows[(i + 1) * k + kb + kk]), vb, acc1);
+                acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a_rows[(i + 2) * k + kb + kk]), vb, acc2);
+                acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a_rows[(i + 3) * k + kb + kk]), vb, acc3);
+            }
+            for (r, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let off = (i + r) * n + jb;
+                store8(
+                    c_rows,
+                    off,
+                    _mm256_fmadd_ps(acc, alpha_v, load8(c_rows, off)),
+                );
+            }
+            i += 4;
+        }
+        while i < rows {
+            let mut acc = _mm256_setzero_ps();
+            for kk in 0..kblen {
+                let va = _mm256_set1_ps(a_rows[i * k + kb + kk]);
+                acc = _mm256_fmadd_ps(va, load8(pack, kk * 8), acc);
+            }
+            let off = i * n + jb;
+            store8(
+                c_rows,
+                off,
+                _mm256_fmadd_ps(acc, alpha_v, load8(c_rows, off)),
+            );
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn gemm_nn(
+        alpha: f32,
+        a_rows: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        c_rows: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        if n == 0 || k == 0 || c_rows.is_empty() {
+            return;
+        }
+        let rows = c_rows.len() / n;
+        let alpha_v = _mm256_set1_ps(alpha);
+        let n16 = n - n % 16;
+        let n8 = n - n % 8;
+        let mut jb = 0;
+        while jb < n16 {
+            for kb in (0..k).step_by(KB) {
+                let kblen = KB.min(k - kb);
+                pack_b_panel(b, n, kb, kblen, jb, 16, pack);
+                nn_panel16(alpha_v, a_rows, k, kb, kblen, pack, n, jb, c_rows, rows);
+            }
+            jb += 16;
+        }
+        if jb < n8 {
+            for kb in (0..k).step_by(KB) {
+                let kblen = KB.min(k - kb);
+                pack_b_panel(b, n, kb, kblen, jb, 8, pack);
+                nn_panel8(alpha_v, a_rows, k, kb, kblen, pack, n, jb, c_rows, rows);
+            }
+            jb += 8;
+        }
+        if jb < n {
+            // Sub-8-column remainder: plain scalar accumulation.
+            for i in 0..rows {
+                for kk in 0..k {
+                    let aik = alpha * a_rows[i * k + kk];
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    let c_row = &mut c_rows[i * n..(i + 1) * n];
+                    for j in jb..n {
+                        c_row[j] += aik * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+
+    // --- TN: C += alpha * Aᵀ · B over packed (transposed) A panels ----------
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn gemm_tn(
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        n: usize,
+        k: usize,
+        i0: usize,
+        i1: usize,
+        c_rows: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        if n == 0 || i1 <= i0 {
+            return;
+        }
+        let alpha_v = _mm256_set1_ps(alpha);
+        for kb in (0..k).step_by(KB) {
+            let kblen = KB.min(k - kb);
+            for ic in (i0..i1).step_by(TN_MC) {
+                let ilen = TN_MC.min(i1 - ic);
+                pack_a_panel(a, m, kb, kblen, ic, ilen, pack);
+                tn_chunk(alpha_v, pack, kblen, ilen, b, n, kb, ic - i0, c_rows);
+            }
+        }
+    }
+
+    /// One packed-A chunk: `C[c_row0.., :] += α·packᵀ-rows·B[kb.., :]`.
+    /// `pa` is `ilen×kblen` (row `i` of the chunk holds its k-slice
+    /// contiguously).
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn tn_chunk(
+        alpha_v: __m256,
+        pa: &[f32],
+        kblen: usize,
+        ilen: usize,
+        b: &[f32],
+        n: usize,
+        kb: usize,
+        c_row0: usize,
+        c_rows: &mut [f32],
+    ) {
+        let n16 = n - n % 16;
+        let n8 = n - n % 8;
+        let mut j = 0;
+        while j < n16 {
+            let mut i = 0;
+            while i + 2 <= ilen {
+                let a0 = &pa[i * kblen..(i + 1) * kblen];
+                let a1 = &pa[(i + 1) * kblen..(i + 2) * kblen];
+                let mut acc00 = _mm256_setzero_ps();
+                let mut acc01 = _mm256_setzero_ps();
+                let mut acc10 = _mm256_setzero_ps();
+                let mut acc11 = _mm256_setzero_ps();
+                for (kk, (&a0k, &a1k)) in a0.iter().zip(a1).enumerate() {
+                    let off = (kb + kk) * n + j;
+                    let vb0 = load8(b, off);
+                    let vb1 = load8(b, off + 8);
+                    let va0 = _mm256_set1_ps(a0k);
+                    let va1 = _mm256_set1_ps(a1k);
+                    acc00 = _mm256_fmadd_ps(va0, vb0, acc00);
+                    acc01 = _mm256_fmadd_ps(va0, vb1, acc01);
+                    acc10 = _mm256_fmadd_ps(va1, vb0, acc10);
+                    acc11 = _mm256_fmadd_ps(va1, vb1, acc11);
+                }
+                let o0 = (c_row0 + i) * n + j;
+                let o1 = o0 + n;
+                store8(
+                    c_rows,
+                    o0,
+                    _mm256_fmadd_ps(acc00, alpha_v, load8(c_rows, o0)),
+                );
+                store8(
+                    c_rows,
+                    o0 + 8,
+                    _mm256_fmadd_ps(acc01, alpha_v, load8(c_rows, o0 + 8)),
+                );
+                store8(
+                    c_rows,
+                    o1,
+                    _mm256_fmadd_ps(acc10, alpha_v, load8(c_rows, o1)),
+                );
+                store8(
+                    c_rows,
+                    o1 + 8,
+                    _mm256_fmadd_ps(acc11, alpha_v, load8(c_rows, o1 + 8)),
+                );
+                i += 2;
+            }
+            if i < ilen {
+                let a0 = &pa[i * kblen..(i + 1) * kblen];
+                let mut lo = _mm256_setzero_ps();
+                let mut hi = _mm256_setzero_ps();
+                for (kk, &a0k) in a0.iter().enumerate() {
+                    let off = (kb + kk) * n + j;
+                    let va = _mm256_set1_ps(a0k);
+                    lo = _mm256_fmadd_ps(va, load8(b, off), lo);
+                    hi = _mm256_fmadd_ps(va, load8(b, off + 8), hi);
+                }
+                let o0 = (c_row0 + i) * n + j;
+                store8(c_rows, o0, _mm256_fmadd_ps(lo, alpha_v, load8(c_rows, o0)));
+                store8(
+                    c_rows,
+                    o0 + 8,
+                    _mm256_fmadd_ps(hi, alpha_v, load8(c_rows, o0 + 8)),
+                );
+            }
+            j += 16;
+        }
+        if j < n8 {
+            for i in 0..ilen {
+                let a0 = &pa[i * kblen..(i + 1) * kblen];
+                let mut acc = _mm256_setzero_ps();
+                for (kk, &a0k) in a0.iter().enumerate() {
+                    acc = _mm256_fmadd_ps(_mm256_set1_ps(a0k), load8(b, (kb + kk) * n + j), acc);
+                }
+                let off = (c_row0 + i) * n + j;
+                store8(
+                    c_rows,
+                    off,
+                    _mm256_fmadd_ps(acc, alpha_v, load8(c_rows, off)),
+                );
+            }
+            j += 8;
+        }
+        if j < n {
+            // Sub-8-column remainder: scalar accumulation.
+            for i in 0..ilen {
+                let a0 = &pa[i * kblen..(i + 1) * kblen];
+                let c_row = &mut c_rows[(c_row0 + i) * n..(c_row0 + i + 1) * n];
+                for jc in j..n {
+                    let mut s = 0.0f32;
+                    for (kk, &a0k) in a0.iter().enumerate() {
+                        s += a0k * b[(kb + kk) * n + jc];
+                    }
+                    // alpha is the same value broadcast in `alpha_v`.
+                    let alpha = _mm_cvtss_f32(_mm256_castps256_ps128(alpha_v));
+                    c_row[jc] += alpha * s;
+                }
+            }
+        }
+    }
+
+    // --- element-wise kernels ----------------------------------------------
+    //
+    // The linear kernels use separate mul/add (never FMA) and walk elements
+    // in the same order as the scalar loops, so their results are
+    // bit-identical to the portable path. Only sigmoid/tanh (polynomial
+    // exp) differ, within ~1e-6.
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let n8 = n & !7;
+        let va = _mm256_set1_ps(alpha);
+        let mut p = 0;
+        while p < n8 {
+            let v = _mm256_add_ps(load8(y, p), _mm256_mul_ps(va, load8(x, p)));
+            store8(y, p, v);
+            p += 8;
+        }
+        for p in n8..n {
+            y[p] += alpha * x[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        let n = x.len();
+        let n8 = n & !7;
+        let va = _mm256_set1_ps(alpha);
+        let vb = _mm256_set1_ps(beta);
+        let mut p = 0;
+        while p < n8 {
+            let v = _mm256_add_ps(
+                _mm256_mul_ps(va, load8(x, p)),
+                _mm256_mul_ps(vb, load8(y, p)),
+            );
+            store8(y, p, v);
+            p += 8;
+        }
+        for p in n8..n {
+            y[p] = alpha * x[p] + beta * y[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn scale(alpha: f32, x: &mut [f32]) {
+        let n = x.len();
+        let n8 = n & !7;
+        let va = _mm256_set1_ps(alpha);
+        let mut p = 0;
+        while p < n8 {
+            store8(x, p, _mm256_mul_ps(va, load8(x, p)));
+            p += 8;
+        }
+        for v in &mut x[n8..] {
+            *v *= alpha;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn hadamard_assign(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let n8 = n & !7;
+        let mut p = 0;
+        while p < n8 {
+            store8(a, p, _mm256_mul_ps(load8(a, p), load8(b, p)));
+            p += 8;
+        }
+        for p in n8..n {
+            a[p] *= b[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = a.len();
+        let n8 = n & !7;
+        let mut p = 0;
+        while p < n8 {
+            store8(out, p, _mm256_mul_ps(load8(a, p), load8(b, p)));
+            p += 8;
+        }
+        for p in n8..n {
+            out[p] = a[p] * b[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn add_row_broadcast(m: &mut [f32], cols: usize, row: &[f32]) {
+        let n8 = cols & !7;
+        for r in m.chunks_exact_mut(cols) {
+            let mut p = 0;
+            while p < n8 {
+                store8(r, p, _mm256_add_ps(load8(r, p), load8(row, p)));
+                p += 8;
+            }
+            for p in n8..cols {
+                r[p] += row[p];
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn col_sum_into(m: &[f32], cols: usize, out: &mut [f32]) {
+        out.fill(0.0);
+        if cols == 0 {
+            return;
+        }
+        let n8 = cols & !7;
+        for r in m.chunks_exact(cols) {
+            let mut p = 0;
+            while p < n8 {
+                store8(out, p, _mm256_add_ps(load8(out, p), load8(r, p)));
+                p += 8;
+            }
+            for p in n8..cols {
+                out[p] += r[p];
+            }
+        }
+    }
+
+    /// Cephes-style polynomial `e^x` over the clamped f32 range
+    /// (`x ∈ [-87.34, 88.38]`, degree-5 minimax in the reduced argument).
+    #[target_feature(enable = "avx2,fma")]
+    fn exp8(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(_mm256_set1_ps(88.376_26), x);
+        let x = _mm256_max_ps(_mm256_set1_ps(-87.336_54), x);
+        // n = round(x / ln 2); r = x − n·ln2 using a two-part ln2.
+        let fx = _mm256_round_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E)),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC,
+        );
+        let r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693_359_4), x);
+        let r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.121_944_4e-4), r);
+        let r2 = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.398_199_9e-3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.166_579_6e-2));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.666_666_5e-1));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(5.000_000_3e-1));
+        y = _mm256_fmadd_ps(y, r2, r);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // Scale by 2^n through the exponent field.
+        let n = _mm256_cvtps_epi32(fx);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            n,
+            _mm256_set1_epi32(0x7f),
+        )));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn sigmoid(xs: &mut [f32]) {
+        let n = xs.len();
+        let n8 = n & !7;
+        let sign = _mm256_set1_ps(-0.0);
+        let one = _mm256_set1_ps(1.0);
+        let zero = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < n8 {
+            let x = load8(xs, p);
+            // e = exp(−|x|) ∈ (0, 1]: never overflows, mirroring the
+            // branch-free stable scalar form.
+            let e = exp8(_mm256_or_ps(_mm256_andnot_ps(sign, x), sign));
+            let denom = _mm256_add_ps(one, e);
+            let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(x, zero);
+            let num = _mm256_blendv_ps(e, one, ge);
+            store8(xs, p, _mm256_div_ps(num, denom));
+            p += 8;
+        }
+        for v in &mut xs[n8..] {
+            let x = *v;
+            *v = if x >= 0.0 {
+                1.0 / (1.0 + (-x).exp())
+            } else {
+                let e = x.exp();
+                e / (1.0 + e)
+            };
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn tanh(xs: &mut [f32]) {
+        let n = xs.len();
+        let n8 = n & !7;
+        let sign = _mm256_set1_ps(-0.0);
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        let mut p = 0;
+        while p < n8 {
+            let x = load8(xs, p);
+            let xsign = _mm256_and_ps(sign, x);
+            let ax = _mm256_andnot_ps(sign, x);
+            // tanh(x) = sign(x) · (1 − e) / (1 + e) with e = exp(−2|x|).
+            let e = exp8(_mm256_or_ps(_mm256_mul_ps(two, ax), sign));
+            let t = _mm256_div_ps(_mm256_sub_ps(one, e), _mm256_add_ps(one, e));
+            store8(xs, p, _mm256_or_ps(t, xsign));
+            p += 8;
+        }
+        for v in &mut xs[n8..] {
+            *v = v.tanh();
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn relu(xs: &mut [f32]) {
+        let n = xs.len();
+        let n8 = n & !7;
+        let zero = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < n8 {
+            store8(xs, p, _mm256_max_ps(load8(xs, p), zero));
+            p += 8;
+        }
+        for v in &mut xs[n8..] {
+            *v = v.max(0.0);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn mul_sigmoid_deriv(out: &[f32], delta: &mut [f32]) {
+        let n = out.len();
+        let n8 = n & !7;
+        let one = _mm256_set1_ps(1.0);
+        let mut p = 0;
+        while p < n8 {
+            let a = load8(out, p);
+            let d = _mm256_mul_ps(load8(delta, p), _mm256_mul_ps(a, _mm256_sub_ps(one, a)));
+            store8(delta, p, d);
+            p += 8;
+        }
+        for p in n8..n {
+            delta[p] *= out[p] * (1.0 - out[p]);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn mul_tanh_deriv(out: &[f32], delta: &mut [f32]) {
+        let n = out.len();
+        let n8 = n & !7;
+        let one = _mm256_set1_ps(1.0);
+        let mut p = 0;
+        while p < n8 {
+            let a = load8(out, p);
+            let d = _mm256_mul_ps(load8(delta, p), _mm256_sub_ps(one, _mm256_mul_ps(a, a)));
+            store8(delta, p, d);
+            p += 8;
+        }
+        for p in n8..n {
+            delta[p] *= 1.0 - out[p] * out[p];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn mul_relu_deriv(out: &[f32], delta: &mut [f32]) {
+        let n = out.len();
+        let n8 = n & !7;
+        let zero = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < n8 {
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(load8(out, p), zero);
+            store8(delta, p, _mm256_and_ps(load8(delta, p), mask));
+            p += 8;
+        }
+        for p in n8..n {
+            if out[p] <= 0.0 {
+                delta[p] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_level_scopes_and_restores() {
+        let outer = active_level();
+        with_level(SimdLevel::Scalar, || {
+            assert_eq!(active_level(), SimdLevel::Scalar);
+            with_level(SimdLevel::Avx2, || {
+                // Clamped to the host; never panics either way.
+                let l = active_level();
+                assert_eq!(
+                    l,
+                    if host_supports_avx2() {
+                        SimdLevel::Avx2
+                    } else {
+                        SimdLevel::Scalar
+                    }
+                );
+            });
+            assert_eq!(active_level(), SimdLevel::Scalar);
+        });
+        assert_eq!(active_level(), outer);
+    }
+
+    #[test]
+    fn avx2_requests_clamp_to_host() {
+        with_level(SimdLevel::Avx2, || {
+            if !host_supports_avx2() {
+                assert_eq!(active_level(), SimdLevel::Scalar);
+            }
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests pinning the AVX2 microkernels to the scalar semantics.
+//!
+//! Every test runs the kernel under *both* forced dispatch levels via
+//! [`simd::with_level`]. On hosts without AVX2 the forced-Avx2 run clamps
+//! to scalar, so the properties degenerate to scalar==scalar and still pass
+//! — the suite is portable, it just only *bites* on x86-64.
+//!
+//! Shape strategy deliberately includes odd / non-multiple-of-tile sizes so
+//! the microkernel edge handling (partial 4-row tiles, ragged 16-column
+//! strips, k-loop tails) is exercised, not just the fast interior.
+
+use hetero_tensor::simd::{self, SimdLevel};
+use hetero_tensor::{gemm, ops, Matrix};
+use proptest::prelude::*;
+
+/// Shapes that straddle the register-tile boundaries (NN tiles are 4×16,
+/// NT 4×2, TN 2×16), including 1 and primes.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..40, 1usize..40, 1usize..40)
+}
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+/// Run one GEMM flavour under a forced level and compare to the f64
+/// reference. `beta != 0` checks the C-accumulation path too.
+#[allow(clippy::too_many_arguments)]
+fn check_gemm_level(
+    level: SimdLevel,
+    kernel: impl Fn(f32, &Matrix, &Matrix, f32, &mut Matrix),
+    a: &Matrix,
+    a_t: bool,
+    b: &Matrix,
+    b_t: bool,
+    m: usize,
+    n: usize,
+    seed: u64,
+) -> bool {
+    let c0 = seeded(m, n, seed ^ 0x5eed);
+    let mut c = c0.clone();
+    simd::with_level(level, || kernel(0.75, a, b, 0.5, &mut c));
+    let mut c_ref = c0;
+    gemm::gemm_reference(0.75, a, a_t, b, b_t, 0.5, &mut c_ref);
+    close(&c, &c_ref, 1e-4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NN matches the reference with dispatch forced each way.
+    #[test]
+    fn gemm_nn_matches_reference_both_levels((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = seeded(m, k, seed);
+        let b = seeded(k, n, seed ^ 1);
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            prop_assert!(
+                check_gemm_level(level, gemm::gemm_nn, &a, false, &b, false, m, n, seed),
+                "gemm_nn diverged from reference at {level:?} for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// NT (A·Bᵀ) matches the reference with dispatch forced each way.
+    #[test]
+    fn gemm_nt_matches_reference_both_levels((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = seeded(m, k, seed);
+        let bt = seeded(n, k, seed ^ 2);
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            prop_assert!(
+                check_gemm_level(level, gemm::gemm_nt, &a, false, &bt, true, m, n, seed),
+                "gemm_nt diverged from reference at {level:?} for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// TN (Aᵀ·B) matches the reference with dispatch forced each way.
+    #[test]
+    fn gemm_tn_matches_reference_both_levels((m, k, n) in dims(), seed in any::<u64>()) {
+        let at = seeded(k, m, seed);
+        let b = seeded(k, n, seed ^ 3);
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            prop_assert!(
+                check_gemm_level(level, gemm::gemm_tn, &at, true, &b, false, m, n, seed),
+                "gemm_tn diverged from reference at {level:?} for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// The fused bias epilogue equals unfused GEMM + broadcast add, at both
+    /// levels — and the two levels agree with each other bit-for-bit is NOT
+    /// required (the fused path may round differently), only to tolerance.
+    #[test]
+    fn gemm_nt_bias_equals_unfused((m, k, n) in dims(), seed in any::<u64>()) {
+        let a = seeded(m, k, seed);
+        let bt = seeded(n, k, seed ^ 4);
+        let bias: Vec<f32> = seeded(1, n, seed ^ 5).as_slice().to_vec();
+        let mut expect = Matrix::zeros(m, n);
+        gemm::gemm_reference(1.0, &a, false, &bt, true, 0.0, &mut expect);
+        ops::add_row_broadcast(&mut expect, &bias);
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            let mut c = Matrix::zeros(m, n);
+            simd::with_level(level, || gemm::gemm_nt_bias(1.0, &a, &bt, &bias, &mut c));
+            prop_assert!(
+                close(&c, &expect, 1e-4),
+                "gemm_nt_bias diverged at {level:?} for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    /// Linear element-wise kernels (mul/add only, scalar element order) are
+    /// bit-exact across dispatch levels.
+    #[test]
+    fn linear_ops_bit_exact_across_levels(
+        alpha in -4.0f32..4.0,
+        beta in -4.0f32..4.0,
+        len in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let x: Vec<f32> = seeded(1, len, seed).as_slice().to_vec();
+        let y: Vec<f32> = seeded(1, len, seed ^ 6).as_slice().to_vec();
+        let xm = Matrix::from_vec(1, len, x.clone());
+        let run = |level: SimdLevel| {
+            simd::with_level(level, || {
+                let mut y1 = y.clone();
+                ops::axpy(alpha, &x, &mut y1);
+                let mut y2 = y.clone();
+                ops::axpby(alpha, &x, beta, &mut y2);
+                let mut y3 = y.clone();
+                ops::scale(alpha, &mut y3);
+                let mut h = Matrix::from_vec(1, len, y.clone());
+                ops::hadamard_assign(&mut h, &xm);
+                let mut sd = y.clone();
+                ops::mul_sigmoid_derivative_slice(&x, &mut sd);
+                let mut rd = Matrix::from_vec(1, len, y.clone());
+                ops::mul_relu_derivative(&xm, &mut rd);
+                let mut td = Matrix::from_vec(1, len, y.clone());
+                ops::mul_tanh_derivative(&xm, &mut td);
+                (y1, y2, y3, h, sd, rd, td)
+            })
+        };
+        prop_assert_eq!(run(SimdLevel::Scalar), run(SimdLevel::Avx2));
+    }
+
+    /// Broadcast / reduction kernels are bit-exact across levels: the SIMD
+    /// column-sum accumulates per-column exactly like the scalar loop.
+    #[test]
+    fn broadcast_and_colsum_bit_exact(rows in 1usize..20, cols in 1usize..40, seed in any::<u64>()) {
+        let m0 = seeded(rows, cols, seed);
+        let row: Vec<f32> = seeded(1, cols, seed ^ 7).as_slice().to_vec();
+        let run = |level: SimdLevel| {
+            simd::with_level(level, || {
+                let mut m = m0.clone();
+                ops::add_row_broadcast(&mut m, &row);
+                let sums = ops::col_sum(&m0);
+                (m, sums)
+            })
+        };
+        prop_assert_eq!(run(SimdLevel::Scalar), run(SimdLevel::Avx2));
+    }
+
+    /// Activations with a polynomial-exp SIMD path agree to float tolerance
+    /// (they are NOT bit-exact by design) and preserve range invariants.
+    #[test]
+    fn activations_agree_to_tolerance(rows in 1usize..8, cols in 1usize..40, seed in any::<u64>()) {
+        let mut wide = seeded(rows, cols, seed);
+        ops::scale(8.0, wide.as_mut_slice()); // push into the saturating tails too
+        let run = |level: SimdLevel| {
+            simd::with_level(level, || {
+                let mut s = wide.clone();
+                ops::sigmoid_inplace(&mut s);
+                let mut t = wide.clone();
+                ops::tanh_inplace(&mut t);
+                let mut r = wide.clone();
+                ops::relu_inplace(&mut r);
+                (s, t, r)
+            })
+        };
+        let (s0, t0, r0) = run(SimdLevel::Scalar);
+        let (s1, t1, r1) = run(SimdLevel::Avx2);
+        prop_assert!(close(&s0, &s1, 1e-5), "sigmoid diverged past tolerance");
+        prop_assert!(close(&t0, &t1, 1e-5), "tanh diverged past tolerance");
+        // relu is a pure max — bit-exact.
+        prop_assert_eq!(r0, r1);
+        prop_assert!(s1.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(t1.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+}

@@ -18,6 +18,11 @@
 //! 4. **No unwrap on channel results** — `.send()/.recv()/...` results in
 //!    non-test code must be handled, not `.unwrap()`/`.expect()`ed: a dead
 //!    peer is an expected event the fault-tolerance layer handles.
+//! 5. **SIMD target-feature** — any function whose body calls an x86 SIMD
+//!    intrinsic (`_mm…`/`_mm256…`) must be annotated `#[target_feature]`:
+//!    combined with rule 1 this means every unsafe SIMD block carries both
+//!    a SAFETY comment *and* sits under an explicit feature gate, so a
+//!    refactor can never silently move AVX2 code onto an unguarded path.
 //!
 //! Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]` modules),
 //! the vendored shims, and xtask itself are exempt. Run `cargo xtask lint
@@ -30,11 +35,13 @@ use std::path::{Path, PathBuf};
 /// contain atomic `Ordering::` uses. Everything else must use higher-level
 /// primitives from these modules.
 const ORDERING_ALLOWLIST: &[&str] = &[
-    "crates/mq/src/",           // lock-free queue + channels (loom-checked)
-    "crates/nn/src/shared.rs",  // Hogwild shared model (loom-checked)
-    "crates/nn/src/sync.rs",    // atomic facade for the above
-    "crates/trace/src/",        // monitoring counters/gauges (relaxed-only)
-    "crates/gpu/src/stream.rs", // stream completion flags
+    "crates/mq/src/",                  // lock-free queue + channels (loom-checked)
+    "crates/nn/src/shared.rs",         // Hogwild shared model (loom-checked)
+    "crates/nn/src/sync.rs",           // atomic facade for the above
+    "crates/trace/src/",               // monitoring counters/gauges (relaxed-only)
+    "crates/gpu/src/stream.rs",        // stream completion flags
+    "crates/tensor/src/simd.rs",       // write-once dispatch memo (relaxed-only)
+    "crates/bench/src/alloc_count.rs", // counting allocator (relaxed-only)
 ];
 
 /// The places allowed to start OS threads: the worker supervision layer,
@@ -221,6 +228,17 @@ fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
                 msg:
                     "thread spawn outside the supervision layer (crates/core/src/engine_threads.rs)"
                         .into(),
+            });
+        }
+
+        // Rule 5: SIMD intrinsics only inside `#[target_feature]` fns.
+        if uses_simd_intrinsic(code) && !enclosing_fn_has_target_feature(&lines, i) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "simd-target-feature",
+                msg: "SIMD intrinsic used in a function without a `#[target_feature]` attribute"
+                    .into(),
             });
         }
 
@@ -461,6 +479,55 @@ fn has_word(code: &str, word: &str) -> bool {
     false
 }
 
+/// True when the (comment-stripped) code calls an x86 SIMD intrinsic:
+/// an identifier starting with `_mm` at a word boundary (`_mm_add_ps`,
+/// `_mm256_fmadd_ps`, …).
+fn uses_simd_intrinsic(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("_mm") {
+        let at = start + pos;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .last()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = at + 3;
+    }
+    false
+}
+
+/// Walk up from line `i` to the nearest `fn` declaration and check the
+/// contiguous attribute/comment run above it for `#[target_feature`.
+/// (Closures cannot carry the attribute, so an intrinsic inside a closure
+/// is attributed to — and must be inside — a `#[target_feature]` fn.)
+fn enclosing_fn_has_target_feature(lines: &[Line], i: usize) -> bool {
+    let mut j = i + 1;
+    while j > 0 {
+        j -= 1;
+        if !has_word(&lines[j].code, "fn") {
+            continue;
+        }
+        // Found the declaration; scan its attribute run.
+        let mut k = j;
+        while k > 0 {
+            k -= 1;
+            let code = lines[k].code.trim();
+            if code.starts_with("#[") {
+                if code.contains("target_feature") {
+                    return true;
+                }
+            } else if !code.is_empty() {
+                return false;
+            }
+        }
+        return false;
+    }
+    false
+}
+
 /// A `// SAFETY:` comment counts if it is on the same line or anywhere in
 /// the contiguous run of comment/attribute/empty lines directly above.
 fn safety_comment_nearby(lines: &[Line], i: usize) -> bool {
@@ -554,6 +621,11 @@ fn self_check() {
             "crates/demo/src/lib.rs",
             "fn f(tx: &Sender<u8>) { tx.send(1).unwrap(); }\n",
         ),
+        (
+            "simd-target-feature",
+            "crates/demo/src/lib.rs",
+            "// SAFETY: covered.\nunsafe fn f(p: *const f32) { _mm256_loadu_ps(p); }\n",
+        ),
     ];
     let mut failed = false;
     for (rule, path, src) in cases {
@@ -625,6 +697,22 @@ mod tests {
         let src = "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n";
         let hits = lint_source("crates/demo/src/lib.rs", src);
         assert!(hits.iter().any(|v| v.rule == "safety-comment"));
+    }
+
+    #[test]
+    fn target_feature_gates_simd_intrinsics() {
+        // Ungated intrinsic fires, even inside a closure.
+        let src = "// SAFETY: ok.\nunsafe fn f(p: *const f32) {\n    let g = || _mm_loadu_ps(p);\n    g();\n}\n";
+        let hits = lint_source("crates/demo/src/lib.rs", src);
+        assert!(hits.iter().any(|v| v.rule == "simd-target-feature"));
+        // The attribute (anywhere in the attribute run) silences it.
+        let src = "#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2,fma\")]\n// SAFETY: ok.\nunsafe fn f(p: *const f32) { _mm256_loadu_ps(p); }\n";
+        assert!(lint_source("crates/demo/src/lib.rs", src)
+            .iter()
+            .all(|v| v.rule != "simd-target-feature"));
+        // `_mm` as part of a longer identifier is not an intrinsic.
+        let src = "fn f(elem_mm: f32) -> f32 { elem_mm }\n";
+        assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -171,6 +171,7 @@ fn main() {
         grad_clip: None,
         weight_decay: 0.0,
         staleness_discount: args.kappa,
+        rayon_threads: 0,
         eval_interval: args.budget / 20.0,
         eval_subsample: 2048,
         seed: args.seed,

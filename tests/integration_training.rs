@@ -60,6 +60,7 @@ fn sim_config(
             grad_clip: None,
             weight_decay: 0.0,
             staleness_discount: 0.0,
+            rayon_threads: 0,
             eval_interval: budget / 8.0,
             eval_subsample: 512,
             seed: 5,
@@ -155,6 +156,7 @@ fn both_engines_agree_on_update_accounting() {
             lr: 0.02,
             gpu_batch: 64,
             time_budget: 0.3,
+            rayon_threads: 0,
             eval_interval: 0.1,
             eval_subsample: 300,
             ..TrainConfig::default()
