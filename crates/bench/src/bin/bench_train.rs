@@ -1,0 +1,253 @@
+//! End-to-end training benchmark → `BENCH_train.json`: updates/s,
+//! time-to-fixed-loss, steady-state staleness quantiles, and measured β
+//! per engine/algorithm, so future PRs have a whole-system trajectory to
+//! diff against (the math-core counterpart is `bench_math`).
+//!
+//! Two legs:
+//!
+//! - **sim** — every paper algorithm on the calibrated V100/Xeon models
+//!   (virtual time, deterministic), one row per algorithm.
+//! - **threaded** — the two Hogbatch algorithms on real OS threads +
+//!   software GPU (wall-clock), with `measured_beta` on so the row records
+//!   the CAS-probed serialization rate β̂ alongside the configured value.
+//!
+//! "Time to fixed loss" uses a per-leg target: 105% of the best loss any
+//! algorithm in that leg reached, so the column compares *speed to the
+//! same quality* rather than final quality (which the budget caps anyway).
+//! Rows that never reach the target report `null`.
+//!
+//! Honors `HETERO_SCALE` / `HETERO_WIDTH` / `HETERO_BUDGET` /
+//! `HETERO_DEPTH_FACTOR` like every other bench binary, plus
+//! `HETERO_BUDGET_WALL` (seconds, default `0.5`) for the threaded leg.
+//!
+//! ```text
+//! cargo run --release -p hetero-bench --bin bench_train
+//! ```
+
+use std::sync::Arc;
+
+use hetero_bench::Harness;
+use hetero_core::{
+    AlgorithmKind, FaultPlan, SimEngine, SimEngineConfig, ThreadedEngine, ThreadedEngineConfig,
+    TrainResult,
+};
+use hetero_data::PaperDataset;
+use hetero_metrics::{Metric, MetricsHub, Summary};
+use hetero_sim::GpuModel;
+use hetero_trace::TraceSink;
+use serde::Serialize;
+
+#[derive(Serialize, Clone, Copy)]
+struct Quantiles {
+    count: u64,
+    p50: f64,
+    p99: f64,
+    max: f64,
+}
+
+impl From<Summary> for Quantiles {
+    fn from(s: Summary) -> Self {
+        Quantiles {
+            count: s.count,
+            p50: s.p50,
+            p99: s.p99,
+            max: s.max,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    engine: &'static str,
+    algorithm: String,
+    dataset: String,
+    /// Whether the run measured β from CAS probes (`TrainConfig::measured_beta`).
+    measured_beta_enabled: bool,
+    duration_secs: f64,
+    epochs: f64,
+    final_loss: f32,
+    total_updates: f64,
+    updates_per_sec: f64,
+    /// Seconds (virtual or wall, per `engine`) to first reach the leg's
+    /// shared target loss; `null` when this row never got there.
+    time_to_target_loss: Option<f64>,
+    /// Measured serialization rate β̂ (see DESIGN.md §4g); `null` when
+    /// `measured_beta_enabled` is false.
+    measured_beta: Option<f64>,
+    /// Per-update gradient staleness in model versions (raw counts).
+    staleness: Option<Quantiles>,
+    /// Per-batch compute latency in milliseconds.
+    batch_latency_ms: Option<Quantiles>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: f64,
+    width: usize,
+    sim_budget_secs: f64,
+    wall_budget_secs: f64,
+    /// The leg-shared quality bar behind `time_to_target_loss`.
+    target_rule: &'static str,
+    sim_target_loss: f32,
+    threaded_target_loss: f32,
+    rows: Vec<Row>,
+}
+
+/// Virtual/wall seconds at which `r`'s loss curve first reaches `target`.
+fn time_to(r: &TrainResult, target: f32) -> Option<f64> {
+    r.loss_curve
+        .iter()
+        .find(|p| p.loss <= target)
+        .map(|p| p.time)
+}
+
+fn row(engine: &'static str, r: &TrainResult, hub: &MetricsHub, measured: bool) -> Row {
+    Row {
+        engine,
+        algorithm: r.algorithm.clone(),
+        dataset: r.dataset.clone(),
+        measured_beta_enabled: measured,
+        duration_secs: r.duration,
+        epochs: r.epochs,
+        final_loss: r.final_loss(),
+        total_updates: r.total_updates(),
+        updates_per_sec: r.total_updates() / r.duration.max(1e-9),
+        time_to_target_loss: None, // filled once the leg's target is known
+        measured_beta: r.measured_beta,
+        staleness: r.staleness.map(Quantiles::from),
+        batch_latency_ms: hub
+            .summary(Metric::BatchLatency)
+            .map(|s| Quantiles::from(s.scaled(1e-6))),
+    }
+}
+
+fn main() {
+    let h = Harness::default();
+    let wall_budget = std::env::var("HETERO_BUDGET_WALL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    let which = PaperDataset::W8a;
+    let dataset = h.dataset(which);
+    eprintln!(
+        "bench_train: {} ({} examples), sim budget {}s, wall budget {}s",
+        which.stats().name,
+        dataset.len(),
+        h.budget,
+        wall_budget
+    );
+
+    // Sim leg: every algorithm, measured β on for the ones that share a
+    // model (it is a property of concurrent application; the serial sim
+    // reports exactly 1.0 — a useful fixture to diff the threaded β̂ against).
+    let sim_algos = [
+        AlgorithmKind::HogwildCpu,
+        AlgorithmKind::MiniBatchGpu,
+        AlgorithmKind::CpuGpuHogbatch,
+        AlgorithmKind::AdaptiveHogbatch,
+    ];
+    let mut rows = Vec::new();
+    let mut sim_results = Vec::new();
+    for algo in sim_algos {
+        let spec = h.network(which, &dataset);
+        let mut train = h.train_config(algo, &dataset);
+        train.measured_beta = algo.uses_gpu() && algo.uses_cpu();
+        let measured = train.measured_beta;
+        let engine =
+            SimEngine::new(SimEngineConfig::paper_hardware(spec, train)).expect("valid sim config");
+        let hub = MetricsHub::new();
+        let r = engine.run_observed(&dataset, &TraceSink::disabled(), &hub);
+        eprintln!(
+            "  sim/{}: {:.0} updates ({:.0}/s), loss {:.4}",
+            r.algorithm,
+            r.total_updates(),
+            r.total_updates() / r.duration.max(1e-9),
+            r.final_loss()
+        );
+        rows.push(row("sim", &r, &hub, measured));
+        sim_results.push(r);
+    }
+    let sim_target = sim_results
+        .iter()
+        .map(|r| r.min_loss())
+        .fold(f32::INFINITY, f32::min)
+        * 1.05;
+    for (row, r) in rows.iter_mut().zip(&sim_results) {
+        row.time_to_target_loss = time_to(r, sim_target);
+    }
+
+    // Threaded leg: the shared-model algorithms on real threads, β̂ measured.
+    let cpu_threads = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(2).max(2))
+        .unwrap_or(4);
+    let mut threaded_results = Vec::new();
+    let first_threaded = rows.len();
+    for algo in [
+        AlgorithmKind::CpuGpuHogbatch,
+        AlgorithmKind::AdaptiveHogbatch,
+    ] {
+        let spec = h.network(which, &dataset);
+        let mut train = h.train_config(algo, &dataset);
+        train.time_budget = wall_budget;
+        train.eval_interval = (wall_budget / 8.0).max(0.02);
+        train.measured_beta = true;
+        let engine = ThreadedEngine::new(ThreadedEngineConfig {
+            spec,
+            train,
+            cpu_threads,
+            gpu_perf: GpuModel::v100(),
+            gpu_workers: 1,
+            fault_plan: FaultPlan::none(),
+        })
+        .expect("valid threaded config");
+        let hub = MetricsHub::new();
+        let r = engine.run_observed(Arc::new(dataset.clone()), &TraceSink::disabled(), &hub);
+        eprintln!(
+            "  threaded/{}: {:.0} updates ({:.0}/s), loss {:.4}, β̂ = {:?}",
+            r.algorithm,
+            r.total_updates(),
+            r.total_updates() / r.duration.max(1e-9),
+            r.final_loss(),
+            r.measured_beta
+        );
+        rows.push(row("threaded", &r, &hub, true));
+        threaded_results.push(r);
+    }
+    let threaded_target = threaded_results
+        .iter()
+        .map(|r| r.min_loss())
+        .fold(f32::INFINITY, f32::min)
+        * 1.05;
+    for (row, r) in rows[first_threaded..].iter_mut().zip(&threaded_results) {
+        row.time_to_target_loss = time_to(r, threaded_target);
+    }
+
+    println!("engine,algorithm,updates_per_sec,time_to_target,staleness_p50,staleness_p99,beta");
+    for r in &rows {
+        println!(
+            "{},{},{:.1},{},{},{},{}",
+            r.engine,
+            r.algorithm,
+            r.updates_per_sec,
+            r.time_to_target_loss
+                .map_or("".into(), |t| format!("{t:.4}")),
+            r.staleness.map_or("".into(), |s| format!("{:.0}", s.p50)),
+            r.staleness.map_or("".into(), |s| format!("{:.0}", s.p99)),
+            r.measured_beta.map_or("".into(), |b| format!("{b:.4}")),
+        );
+    }
+
+    let report = Report {
+        scale: h.scale,
+        width: h.width,
+        sim_budget_secs: h.budget,
+        wall_budget_secs: wall_budget,
+        target_rule: "105% of the best min-loss within the same leg",
+        sim_target_loss: sim_target,
+        threaded_target_loss: threaded_target,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
+    eprintln!("wrote BENCH_train.json");
+}

@@ -146,6 +146,7 @@ impl Harness {
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: self.budget / 24.0,
             eval_subsample: 2048,
             seed: self.seed,

@@ -228,6 +228,14 @@ pub struct TrainConfig {
     /// host has is detected at engine start and reported on the
     /// `engine.pool_oversubscription` trace counter.
     pub rayon_threads: usize,
+    /// Measure the surviving-update fraction β instead of assuming
+    /// [`AdaptiveParams::beta`]. When on, CPU workers apply gradients
+    /// through `SharedModel::apply_gradient_racy_sampled` (identical
+    /// Hogwild dynamics plus sparse conflict probes) and the adaptive
+    /// controller credits CPU batches with `t·β̂` from the live estimate.
+    /// **Default off** to preserve paper parity: the paper fixes β = 1
+    /// (DESIGN.md §4g documents the semantics and the caveat).
+    pub measured_beta: bool,
     /// Seconds between loss evaluations (plus one at every epoch end).
     pub eval_interval: f64,
     /// Max examples used per loss evaluation (subsampled for speed).
@@ -255,6 +263,7 @@ impl Default for TrainConfig {
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: 0.05,
             eval_subsample: 2048,
             seed: 42,

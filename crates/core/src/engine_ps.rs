@@ -273,6 +273,9 @@ impl PsEngine {
         for (i, s) in stats.iter_mut().enumerate() {
             s.final_batch = cfg.batch.min(shard(i).1 - shard(i).0);
         }
+        for s in &mut stats {
+            s.summarize_timeline();
+        }
         TrainResult {
             algorithm: "Parameter Server".into(),
             dataset: dataset.name.clone(),
@@ -283,6 +286,8 @@ impl PsEngine {
             trace_path: None,
             requeued_batches: 0,
             aborted: None,
+            measured_beta: None,
+            staleness: None,
         }
     }
 }

@@ -22,6 +22,7 @@
 
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_metrics::{HistHandle, Metric, MetricsHub};
 use hetero_nn::{Gradient, MlpSpec, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
 use hetero_tensor::Matrix;
@@ -32,7 +33,7 @@ use crate::adaptive::{AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
 use crate::eval::{eval_subset, gather_rows};
 use crate::fault::FaultPlan;
-use crate::metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
+use crate::metrics::{LossPoint, TimelineSummary, TrainResult, WorkerKind, WorkerStats};
 
 /// Hardware and comparator parameters for a simulated run.
 #[derive(Debug, Clone)]
@@ -131,6 +132,32 @@ impl SimScratch {
     }
 }
 
+/// Pre-resolved per-worker histogram handles for an observed run. Every
+/// handle is a no-op when the hub is disabled, so the unobserved path pays
+/// one branch per record. The sim has no queue wait — workers are
+/// re-assigned the instant they complete — so that series is left to the
+/// threaded engine.
+struct SimObs {
+    lat: Vec<HistHandle>,
+    stale: Vec<HistHandle>,
+    h2d: Vec<HistHandle>,
+    d2h: Vec<HistHandle>,
+}
+
+impl SimObs {
+    fn new(hub: &MetricsHub, workers: usize) -> Self {
+        let per = |m: Metric| -> Vec<HistHandle> {
+            (0..workers).map(|w| hub.histogram(m, w as u32)).collect()
+        };
+        SimObs {
+            lat: per(Metric::BatchLatency),
+            stale: per(Metric::Staleness),
+            h2d: per(Metric::H2d),
+            d2h: per(Metric::D2h),
+        }
+    }
+}
+
 enum Ev {
     Complete {
         worker: usize,
@@ -173,6 +200,21 @@ impl SimEngine {
     /// sink this is exactly [`SimEngine::run`] — determinism is untouched
     /// because tracing never feeds back into the schedule.
     pub fn run_traced(&self, dataset: &DenseDataset, sink: &TraceSink) -> TrainResult {
+        self.run_observed(dataset, sink, &MetricsHub::disabled())
+    }
+
+    /// [`SimEngine::run_traced`] with a metrics hub attached: per-worker
+    /// batch-latency, transfer, and staleness histograms (virtual-time
+    /// durations) plus the live dashboard gauges flow out while the run
+    /// progresses. A disabled hub reduces this to exactly
+    /// [`SimEngine::run_traced`]; the schedule and the math are untouched
+    /// either way.
+    pub fn run_observed(
+        &self,
+        dataset: &DenseDataset,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+    ) -> TrainResult {
         // Pin the GEMM fan-out to `train.rayon_threads` (0 = host cores)
         // for the whole run; the sim is single-coordinator, so the only
         // oversubscription possible is the pool itself exceeding the host.
@@ -185,10 +227,15 @@ impl SimEngine {
             .unwrap_or(1);
         sink.counter("engine.pool_oversubscription")
             .add(pool.current_num_threads().saturating_sub(host) as u64);
-        pool.install(|| self.run_traced_inner(dataset, sink))
+        pool.install(|| self.run_traced_inner(dataset, sink, hub))
     }
 
-    fn run_traced_inner(&self, dataset: &DenseDataset, sink: &TraceSink) -> TrainResult {
+    fn run_traced_inner(
+        &self,
+        dataset: &DenseDataset,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+    ) -> TrainResult {
         let cfg = &self.cfg;
         let train = &cfg.train;
         let algo = train.algorithm;
@@ -212,6 +259,34 @@ impl SimEngine {
         let mut stats: Vec<WorkerStats> =
             devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
         let mut eval_timeline = UtilizationTimeline::new();
+        let obs = SimObs::new(hub, devices.len());
+
+        // Live dashboard gauges, mirroring the threaded engine's naming so
+        // one dashboard renders either engine.
+        struct WorkerGauges {
+            updates: hetero_trace::GaugeHandle,
+            batch: hetero_trace::GaugeHandle,
+            examples: hetero_trace::GaugeHandle,
+            busy_secs: hetero_trace::GaugeHandle,
+        }
+        let worker_gauges: Vec<WorkerGauges> = devices
+            .iter()
+            .enumerate()
+            .map(|(w, d)| {
+                sink.gauge(&format!("worker.{w}.kind")).set(match d.kind() {
+                    WorkerKind::Cpu => 0.0,
+                    WorkerKind::Gpu => 1.0,
+                });
+                WorkerGauges {
+                    updates: sink.gauge(&format!("worker.{w}.updates")),
+                    batch: sink.gauge(&format!("worker.{w}.batch")),
+                    examples: sink.gauge(&format!("worker.{w}.examples")),
+                    busy_secs: sink.gauge(&format!("worker.{w}.busy_secs")),
+                }
+            })
+            .collect();
+        let g_loss = sink.gauge("engine.loss");
+        let g_epochs = sink.gauge("engine.epochs");
 
         // --- Batch-size controller ---------------------------------------------
         let example_bytes = 4 * spec.input_dim as u64;
@@ -251,6 +326,8 @@ impl SimEngine {
                 loss: l,
                 accuracy: acc,
             });
+            g_loss.set(l as f64);
+            g_epochs.set(epochs);
             if sink.enabled() {
                 sink.emit_at(t, COORDINATOR, EventKind::EvalPoint { loss: l as f64 });
             }
@@ -284,6 +361,7 @@ impl SimEngine {
                 global_updates,
                 sink,
                 &timeline_rejects,
+                &obs,
             );
         }
         queue.schedule_at(train.eval_interval.min(budget), Ev::Eval);
@@ -324,6 +402,7 @@ impl SimEngine {
                     updates_at_snapshot,
                 } => {
                     let staleness = global_updates.saturating_sub(updates_at_snapshot);
+                    obs.stale[worker].record(staleness);
                     global_updates += self.apply_batch(
                         worker,
                         &devices[worker],
@@ -355,6 +434,13 @@ impl SimEngine {
                             &mut eval_timeline,
                         );
                     }
+                    if sink.enabled() {
+                        let g = &worker_gauges[worker];
+                        g.updates.set(stats[worker].updates);
+                        g.batch.set(controller.batch(worker) as f64);
+                        g.examples.set(stats[worker].examples as f64);
+                        g.busy_secs.set(stats[worker].timeline.busy_time());
+                    }
                     self.assign(
                         worker,
                         &devices[worker],
@@ -367,6 +453,7 @@ impl SimEngine {
                         global_updates,
                         sink,
                         &timeline_rejects,
+                        &obs,
                     );
                 }
             }
@@ -383,13 +470,21 @@ impl SimEngine {
 
         for (w, s) in stats.iter_mut().enumerate() {
             s.final_batch = controller.batch(w);
+            s.summarize_timeline();
         }
+        // The sim applies every update serially on the virtual clock, so no
+        // Hogwild write is ever lost: the measured serialization rate is
+        // exactly 1 (the paper's idealized β).
+        let measured_beta = train.measured_beta.then_some(1.0);
         if sink.enabled() {
             sink.set_virtual_now(budget);
             let examples: u64 = stats.iter().map(|s| s.examples).sum();
             sink.gauge("engine.examples_per_sec")
                 .set(examples as f64 / budget.max(1e-9));
             sink.gauge("engine.beta").set(train.adaptive.beta);
+            if let Some(beta) = measured_beta {
+                sink.gauge("engine.beta_measured").set(beta);
+            }
         }
         let aborted = if stats.iter().all(|s| s.retired.is_some()) {
             Some("all workers retired by faults".to_string())
@@ -408,10 +503,13 @@ impl SimEngine {
             // worker dies at assignment time), so nothing is re-queued.
             requeued_batches: 0,
             aborted,
+            measured_beta,
+            staleness: hub.summary(Metric::Staleness),
         };
         // The epoch-end loss evaluations run on the GPU (§VII-B) but must
         // not perturb the worker schedules, so they live on a dedicated
         // timeline appended as a zero-update pseudo-worker.
+        let eval_summary = TimelineSummary::from_timeline(&eval_timeline);
         result.workers.push(WorkerStats {
             kind: WorkerKind::Gpu,
             updates: 0.0,
@@ -420,6 +518,7 @@ impl SimEngine {
             final_batch: 0,
             retired: None,
             timeline: eval_timeline,
+            timeline_summary: eval_summary,
         });
         result
     }
@@ -440,6 +539,7 @@ impl SimEngine {
         global_updates: u64,
         sink: &TraceSink,
         timeline_rejects: &CounterHandle,
+        obs: &SimObs,
     ) {
         if queue.now() >= budget {
             return;
@@ -481,6 +581,17 @@ impl SimEngine {
         }
         let cost = self.batch_cost(device, range.len());
         let start = queue.now();
+        // The virtual clock decides latency, so the histogram is filled at
+        // assignment time with the modeled cost; GPU transfer components
+        // use the same formulas as `batch_cost`.
+        obs.lat[worker].record_secs(cost);
+        if let Device::Gpu(g) = device {
+            let batch_bytes = (4 * self.cfg.spec.input_dim * range.len()) as u64;
+            let model_bytes = self.cfg.spec.param_bytes();
+            obs.h2d[worker]
+                .record_secs(g.transfer_time(batch_bytes) + g.transfer_time(model_bytes));
+            obs.d2h[worker].record_secs(g.transfer_time(model_bytes));
+        }
         if sink.enabled() {
             sink.emit_at(
                 start,
@@ -849,6 +960,7 @@ mod tests {
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: budget / 10.0,
             eval_subsample: 256,
             seed: 7,
@@ -1201,6 +1313,58 @@ mod tests {
             assert_eq!(a.worker, b.worker);
             assert_eq!(a.kind, b.kind);
         }
+    }
+
+    #[test]
+    fn observed_sim_run_fills_histograms_without_perturbing_the_schedule() {
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.03);
+        let hub = MetricsHub::new();
+        let sink = TraceSink::virtual_time(1 << 14);
+        let observed = SimEngine::new(cfg.clone())
+            .unwrap()
+            .run_observed(&data, &sink, &hub);
+        let plain = SimEngine::new(cfg).unwrap().run(&data);
+        // Observation must not feed back into the schedule or the math.
+        assert_eq!(observed.loss_curve.len(), plain.loss_curve.len());
+        for (a, b) in observed.loss_curve.iter().zip(&plain.loss_curve) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.time, b.time);
+        }
+        let snap = hub.snapshot();
+        // CPU (0) and GPU (1) both filled latency; GPU filled transfers.
+        for w in [0u32, 1u32] {
+            assert!(snap.series_for(Metric::BatchLatency, w).unwrap().count() > 0);
+        }
+        assert!(snap.series_for(Metric::H2d, 1).unwrap().count() > 0);
+        assert!(snap.series_for(Metric::D2h, 1).unwrap().count() > 0);
+        assert!(snap.merged(Metric::Staleness).unwrap().count() > 0);
+        // Latency histograms hold the modeled virtual costs (sub-second ns
+        // values, never zero).
+        let lat = snap.merged(Metric::BatchLatency).unwrap();
+        assert!(lat.max() > 0 && lat.max() < 1_000_000_000);
+        assert!(observed.staleness.is_some());
+        // The per-worker digests round-trip what the raw timelines say.
+        for w in &observed.workers {
+            if w.batches > 0 {
+                assert!(w.timeline_summary.busy_secs > 0.0);
+                assert_eq!(
+                    w.timeline_summary.intervals,
+                    w.timeline.segments().len() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_measured_beta_is_exactly_one() {
+        // Serial virtual-clock application loses no update, so the
+        // measured serialization rate is the idealized β = 1.
+        let data = tiny_dataset();
+        let mut cfg = tiny_config(AlgorithmKind::CpuGpuHogbatch, 0.02);
+        cfg.train.measured_beta = true;
+        let r = SimEngine::new(cfg).unwrap().run(&data);
+        assert_eq!(r.measured_beta, Some(1.0));
     }
 
     #[test]

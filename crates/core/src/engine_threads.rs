@@ -38,13 +38,14 @@ use std::time::{Duration, Instant};
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
 use hetero_gpu::{GpuDevice, GpuMlp};
+use hetero_metrics::{Metric, MetricsHub};
 use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
 use hetero_nn::{MlpSpec, Model, SharedModel, Workspace};
 use hetero_sim::{DeviceModel, GpuModel};
 use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 
-use crate::adaptive::{AdaptiveController, WorkerBatchState};
+use crate::adaptive::{credit_updates, AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
 use crate::eval::{eval_subset, gather_rows};
 use crate::fault::{panic_message, FaultPlan, WorkerError};
@@ -194,6 +195,24 @@ impl ThreadedEngine {
     /// ([`TraceSink::wall`]); with a disabled sink this is exactly
     /// [`ThreadedEngine::run`].
     pub fn run_traced(&self, dataset: Arc<DenseDataset>, sink: &TraceSink) -> TrainResult {
+        self.run_observed(dataset, sink, &MetricsHub::disabled())
+    }
+
+    /// [`ThreadedEngine::run_traced`] with a metrics hub attached.
+    ///
+    /// Workers fill per-worker histograms (batch latency, queue wait,
+    /// H2D/D2H transfer time, merge wait/retries, gradient staleness) and
+    /// the coordinator publishes the live dashboard gauges
+    /// (`worker.<w>.*`, `engine.loss`, …) through `sink` so
+    /// [`hetero_metrics::DashboardFrame::collect`] and the OpenMetrics
+    /// exporter see a consistent picture. A disabled hub reduces this to
+    /// exactly [`ThreadedEngine::run_traced`].
+    pub fn run_observed(
+        &self,
+        dataset: Arc<DenseDataset>,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+    ) -> TrainResult {
         let cfg = &self.cfg;
         let train = cfg.train.clone();
         let algo = train.algorithm;
@@ -231,6 +250,7 @@ impl ThreadedEngine {
                     t0,
                     train.clone(),
                     sink.clone(),
+                    hub.clone(),
                 ),
                 WorkerKind::Gpu => self.spawn_gpu_worker(
                     slot,
@@ -241,6 +261,7 @@ impl ThreadedEngine {
                     t0,
                     train.clone(),
                     sink.clone(),
+                    hub.clone(),
                 ),
             };
             handles.push(h);
@@ -256,6 +277,39 @@ impl ThreadedEngine {
         let timeline_rejects = sink.counter("engine.timeline_rejects");
         let faults_ctr = sink.counter("engine.faults");
         let requeues_ctr = sink.counter("engine.requeues");
+
+        // Live dashboard gauges (`worker.<w>.*`, `engine.*`): resolved once
+        // here, refreshed on every completion/eval so a concurrent
+        // dashboard or scrape endpoint always reads a fresh picture.
+        struct WorkerGauges {
+            updates: hetero_trace::GaugeHandle,
+            batch: hetero_trace::GaugeHandle,
+            examples: hetero_trace::GaugeHandle,
+            busy_secs: hetero_trace::GaugeHandle,
+        }
+        let worker_gauges: Vec<WorkerGauges> = kinds
+            .iter()
+            .enumerate()
+            .map(|(w, k)| {
+                sink.gauge(&format!("worker.{w}.kind")).set(match k {
+                    WorkerKind::Cpu => 0.0,
+                    WorkerKind::Gpu => 1.0,
+                });
+                WorkerGauges {
+                    updates: sink.gauge(&format!("worker.{w}.updates")),
+                    batch: sink.gauge(&format!("worker.{w}.batch")),
+                    examples: sink.gauge(&format!("worker.{w}.examples")),
+                    busy_secs: sink.gauge(&format!("worker.{w}.busy_secs")),
+                }
+            })
+            .collect();
+        let g_loss = sink.gauge("engine.loss");
+        let g_epochs = sink.gauge("engine.epochs");
+        // Created only when β is actually measured, so dashboards can tell
+        // "off" (gauge absent) from "measured 0".
+        let g_beta_measured = train
+            .measured_beta
+            .then(|| sink.gauge("engine.beta_measured"));
 
         // Coordinator-side GEMM pool, pinned to `train.rayon_threads`
         // (0 = one thread per host core): loss evaluations fan their
@@ -292,6 +346,11 @@ impl ThreadedEngine {
                 loss: hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss),
                 accuracy: hetero_nn::accuracy(pass.probs(), eval_labels.as_targets()),
             };
+            g_loss.set(point.loss as f64);
+            g_epochs.set(point.epochs);
+            if let (Some(g), Some(beta)) = (&g_beta_measured, shared.beta_estimate()) {
+                g.set(beta);
+            }
             if sink.enabled() {
                 sink.emit(
                     COORDINATOR,
@@ -419,6 +478,11 @@ impl ThreadedEngine {
                     if s.timeline.try_record(start, end, level).is_err() {
                         timeline_rejects.add(1);
                     }
+                    let g = &worker_gauges[r.worker];
+                    g.updates.set(s.updates);
+                    g.batch.set(r.batch as f64);
+                    g.examples.set(s.examples as f64);
+                    g.busy_secs.set(s.timeline.busy_time());
 
                     if t0.elapsed() < budget {
                         dispatch!(r.worker);
@@ -469,6 +533,7 @@ impl ThreadedEngine {
 
         for (w, s) in stats.iter_mut().enumerate() {
             s.final_batch = controller.batch(w);
+            s.summarize_timeline();
         }
         let duration = t0.elapsed().as_secs_f64();
         if sink.enabled() {
@@ -477,6 +542,11 @@ impl ThreadedEngine {
                 .set(examples as f64 / duration.max(1e-9));
             sink.gauge("engine.beta").set(train.adaptive.beta);
         }
+        let measured_beta = if train.measured_beta {
+            shared.beta_estimate()
+        } else {
+            None
+        };
         TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
@@ -487,6 +557,8 @@ impl ThreadedEngine {
             trace_path: None,
             requeued_batches,
             aborted,
+            measured_beta,
+            staleness: hub.summary(Metric::Staleness),
         }
     }
 
@@ -501,6 +573,7 @@ impl ThreadedEngine {
         t0: Instant,
         train: TrainConfig,
         sink: TraceSink,
+        hub: MetricsHub,
     ) -> std::thread::JoinHandle<()> {
         let threads = self.cfg.cpu_threads;
         let plan = self.cfg.fault_plan.clone();
@@ -531,8 +604,17 @@ impl ThreadedEngine {
                             labels: Labels::Classes(Vec::new()),
                         })
                         .collect();
+                    // Histogram handles resolved once; recording is a few
+                    // relaxed atomic adds, so the zero-alloc steady state
+                    // of the lanes is preserved.
+                    let lat_hist = hub.histogram(Metric::BatchLatency, slot as u32);
+                    let queue_hist = hub.histogram(Metric::QueueWait, slot as u32);
+                    let stale_hist = hub.histogram(Metric::Staleness, slot as u32);
                     let mut batches_done = 0u64;
-                    while let Ok(msg) = rx.recv() {
+                    loop {
+                        let (msg, waited) = rx.recv_timed();
+                        let Ok(msg) = msg else { break };
+                        queue_hist.record_secs(waited.as_secs_f64());
                         let range = match msg {
                             CoordMsg::Execute(r) => r,
                             CoordMsg::Stop => break,
@@ -563,6 +645,11 @@ impl ThreadedEngine {
                                 |(i, lane)| {
                                     let lane = &mut lane[0];
                                     let (s, e) = sub_ranges[i];
+                                    // Staleness = global updates applied
+                                    // between this lane's read and its own
+                                    // write landing (minus the write itself).
+                                    let stale_at =
+                                        (!stale_hist.is_disabled()).then(|| shared.update_count());
                                     shared.snapshot_into(&mut lane.local);
                                     dataset.batch_into(s, e, &mut lane.x, &mut lane.labels);
                                     lane.ws.loss_and_gradient_into(
@@ -575,11 +662,20 @@ impl ThreadedEngine {
                                         lane.ws.grad_mut().clip_to_norm(c);
                                     }
                                     let eta = train.lr_scaling.eta(train.lr, e - s);
-                                    shared.apply_gradient_racy(lane.ws.grad(), eta);
+                                    if train.measured_beta {
+                                        shared.apply_gradient_racy_sampled(lane.ws.grad(), eta);
+                                    } else {
+                                        shared.apply_gradient_racy(lane.ws.grad(), eta);
+                                    }
+                                    if let Some(at) = stale_at {
+                                        let now = shared.update_count();
+                                        stale_hist.record(now.saturating_sub(at + 1));
+                                    }
                                 },
                             );
                         });
                         let busy_end = t0.elapsed().as_secs_f64();
+                        lat_hist.record_secs(busy_end - busy_start);
                         batches_done += 1;
                         if sink.enabled() {
                             sink.emit(
@@ -590,9 +686,21 @@ impl ThreadedEngine {
                                 },
                             );
                         }
+                        // `t·β` crediting: the configured constant by
+                        // default; the live CAS-probe estimate when the run
+                        // opted into measured β (DESIGN.md §4g).
+                        let credited = if train.measured_beta {
+                            credit_updates(
+                                n_updates as u64,
+                                train.adaptive.beta,
+                                shared.beta_estimate(),
+                            )
+                        } else {
+                            n_updates as f64 * train.adaptive.beta
+                        };
                         let sent = tx.send(WorkerMsg::Ready(Ready {
                             worker: slot,
-                            updates: n_updates as f64 * train.adaptive.beta,
+                            updates: credited,
                             examples: total as u64,
                             busy_start,
                             busy_end,
@@ -622,6 +730,7 @@ impl ThreadedEngine {
         t0: Instant,
         train: TrainConfig,
         sink: TraceSink,
+        hub: MetricsHub,
     ) -> std::thread::JoinHandle<()> {
         let perf = self.cfg.gpu_perf.clone();
         let plan = self.cfg.fault_plan.clone();
@@ -629,7 +738,14 @@ impl ThreadedEngine {
             .name(format!("gpu-worker-{slot}"))
             .spawn(move || {
                 let body = || -> Result<(), WorkerError> {
-                    let device = GpuDevice::new_traced(perf, &sink, slot as u32);
+                    // The observed device feeds H2D/D2H transfer
+                    // histograms on top of the trace events.
+                    let device = GpuDevice::new_observed(perf, &sink, slot as u32, &hub);
+                    let lat_hist = hub.histogram(Metric::BatchLatency, slot as u32);
+                    let queue_hist = hub.histogram(Metric::QueueWait, slot as u32);
+                    let stale_hist = hub.histogram(Metric::Staleness, slot as u32);
+                    let merge_hist = hub.histogram(Metric::MergeWait, slot as u32);
+                    let retries_hist = hub.histogram(Metric::MergeRetries, slot as u32);
                     if plan.upload_oom(slot) {
                         device.inject_oom_at(0);
                     }
@@ -655,7 +771,10 @@ impl ThreadedEngine {
                     let mut mlp = GpuMlp::upload(&device, &snapshot)
                         .map_err(|e| WorkerError::Oom(format!("model upload failed: {e}")))?;
                     let mut batches_done = 0u64;
-                    while let Ok(msg) = rx.recv() {
+                    loop {
+                        let (msg, waited) = rx.recv_timed();
+                        let Ok(msg) = msg else { break };
+                        queue_hist.record_secs(waited.as_secs_f64());
                         let range = match msg {
                             CoordMsg::Execute(r) => r,
                             CoordMsg::Stop => break,
@@ -704,9 +823,15 @@ impl ThreadedEngine {
                         // snapshot became while the device was computing.
                         let staleness = shared.update_count().saturating_sub(updates_at_snapshot);
                         let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
+                        stale_hist.record(staleness);
                         mlp.download_into(&mut replica);
-                        shared.merge_delta_scaled(&snapshot, &replica, scale);
+                        let merge_start = Instant::now();
+                        let retries =
+                            shared.merge_delta_scaled_observed(&snapshot, &replica, scale);
+                        merge_hist.record_secs(merge_start.elapsed().as_secs_f64());
+                        retries_hist.record(retries);
                         let busy_end = t0.elapsed().as_secs_f64();
+                        lat_hist.record_secs(busy_end - busy_start);
                         batches_done += 1;
                         if sink.enabled() {
                             sink.emit(
@@ -841,6 +966,7 @@ mod tests {
                 weight_decay: 0.0,
                 staleness_discount: 0.0,
                 rayon_threads: 0,
+                measured_beta: false,
                 eval_interval: secs / 4.0,
                 eval_subsample: 200,
                 seed: 3,
@@ -959,6 +1085,75 @@ mod tests {
         assert_eq!(r.requeued_batches, 0);
         assert!(r.aborted.is_none());
         assert!(r.workers.iter().all(|w| w.retired.is_none()));
+    }
+
+    #[test]
+    fn observed_run_fills_histograms_and_dashboard_gauges() {
+        let sink = TraceSink::wall(8192);
+        let hub = MetricsHub::new();
+        let mut cfg = config(AlgorithmKind::AdaptiveHogbatch, 0.4);
+        cfg.train.measured_beta = true;
+        let r = ThreadedEngine::new(cfg)
+            .unwrap()
+            .run_observed(dataset(), &sink, &hub);
+        assert!(r.final_loss().is_finite());
+        // Measured β: the run opted in, so the estimate must be present
+        // and a valid survival fraction.
+        let beta = r.measured_beta.expect("measured β missing");
+        assert!((0.0..=1.0).contains(&beta), "β̂ = {beta}");
+        // Staleness summary comes from the hub.
+        let stale = r.staleness.expect("staleness summary missing");
+        assert!(stale.count > 0);
+        assert!(stale.p50 <= stale.p99);
+        // Both workers filled latency + queue-wait histograms; the GPU
+        // additionally filled transfer + merge series.
+        let snap = hub.snapshot();
+        for w in [0u32, 1u32] {
+            for m in [Metric::BatchLatency, Metric::QueueWait] {
+                let s = snap.series_for(m, w).expect("series missing");
+                assert!(s.count() > 0, "{m:?} empty for worker {w}");
+            }
+        }
+        for m in [
+            Metric::H2d,
+            Metric::D2h,
+            Metric::MergeWait,
+            Metric::MergeRetries,
+        ] {
+            let s = snap.merged(m).expect("gpu series missing");
+            assert!(s.count() > 0, "{m:?} empty");
+        }
+        // Dashboard gauges were published through the sink.
+        let typed = sink.snapshot_typed();
+        let gauge = |name: &str| {
+            typed
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(gauge("worker.0.kind"), Some(0.0));
+        assert_eq!(gauge("worker.1.kind"), Some(1.0));
+        assert!(gauge("worker.0.updates").unwrap_or(0.0) > 0.0);
+        assert!(gauge("worker.1.batch").unwrap_or(0.0) > 0.0);
+        assert!(gauge("engine.loss").unwrap_or(f64::NAN).is_finite());
+        assert!(gauge("engine.beta_measured").is_some());
+        // Timeline digests were filled in before returning.
+        for w in &r.workers {
+            assert!(w.timeline_summary.intervals > 0);
+            assert!(w.timeline_summary.busy_fraction > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_parity_run_reports_no_measured_beta() {
+        let r = ThreadedEngine::new(config(AlgorithmKind::CpuGpuHogbatch, 0.3))
+            .unwrap()
+            .run(dataset());
+        // Default config: β stays the configured constant and the result
+        // carries no estimate (and no hub → no staleness summary).
+        assert!(r.measured_beta.is_none());
+        assert!(r.staleness.is_none());
     }
 
     #[test]

@@ -46,11 +46,11 @@ pub mod fault;
 pub mod metrics;
 pub mod svrg;
 
-pub use adaptive::AdaptiveController;
+pub use adaptive::{credit_updates, AdaptiveController};
 pub use config::{AdaptiveParams, AlgorithmKind, LrScaling, TrainConfig};
 pub use engine_ps::{NetworkModel, PsEngine, PsEngineConfig};
 pub use engine_sim::{SimEngine, SimEngineConfig};
 pub use engine_threads::{ThreadedEngine, ThreadedEngineConfig};
 pub use fault::{FaultKind, FaultPlan, WorkerError};
-pub use metrics::{LossPoint, TrainResult, WorkerKind, WorkerStats};
+pub use metrics::{LossPoint, TimelineSummary, TrainResult, WorkerKind, WorkerStats};
 pub use svrg::{train_sgd_baseline, train_svrg, SvrgConfig};

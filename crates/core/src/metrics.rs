@@ -5,6 +5,7 @@
 //! Figure 7 the per-worker utilization timelines, Figure 8 the per-worker
 //! update counts.
 
+use hetero_metrics::Summary;
 use hetero_sim::UtilizationTimeline;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +32,43 @@ pub enum WorkerKind {
     Gpu,
 }
 
+/// Serializable digest of a [`UtilizationTimeline`].
+///
+/// The raw timeline (every busy interval) is `#[serde(skip)]`ped on
+/// [`WorkerStats`] — it can hold millions of segments — so serialized
+/// `TrainResult`s used to silently lose all utilization data. This summary
+/// is what `results/*.json` keeps instead, enough to round-trip the
+/// Figure 7 per-worker utilization inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSummary {
+    /// Total busy seconds across all recorded intervals.
+    pub busy_secs: f64,
+    /// End of the last recorded interval (seconds since run start).
+    pub horizon: f64,
+    /// `busy_secs / horizon` (0 when nothing was recorded).
+    pub busy_fraction: f64,
+    /// Number of recorded busy intervals.
+    pub intervals: u64,
+}
+
+impl TimelineSummary {
+    /// Digest a timeline.
+    pub fn from_timeline(timeline: &UtilizationTimeline) -> Self {
+        let busy_secs = timeline.busy_time();
+        let horizon = timeline.horizon();
+        TimelineSummary {
+            busy_secs,
+            horizon,
+            busy_fraction: if horizon > 0.0 {
+                busy_secs / horizon
+            } else {
+                0.0
+            },
+            intervals: timeline.segments().len() as u64,
+        }
+    }
+}
+
 /// Per-worker accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerStats {
@@ -51,6 +89,10 @@ pub struct WorkerStats {
     /// Busy-interval record for utilization plots.
     #[serde(skip)]
     pub timeline: UtilizationTimeline,
+    /// Serialized digest of `timeline` (busy fraction + interval count);
+    /// what survives a `results/*.json` round trip. The engines fill it in
+    /// via [`WorkerStats::summarize_timeline`] before returning.
+    pub timeline_summary: TimelineSummary,
 }
 
 impl WorkerStats {
@@ -64,7 +106,13 @@ impl WorkerStats {
             final_batch: 0,
             retired: None,
             timeline: UtilizationTimeline::new(),
+            timeline_summary: TimelineSummary::default(),
         }
+    }
+
+    /// Refresh `timeline_summary` from the current raw timeline.
+    pub fn summarize_timeline(&mut self) {
+        self.timeline_summary = TimelineSummary::from_timeline(&self.timeline);
     }
 }
 
@@ -93,6 +141,14 @@ pub struct TrainResult {
     /// was retired by faults. The run still returns whatever progress was
     /// made; this records why it stopped short.
     pub aborted: Option<String>,
+    /// Measured serialization rate `β̂` from sampled CAS probes on the
+    /// shared model (see `TrainConfig::measured_beta` and DESIGN.md §4g).
+    /// `None` when the run did not measure β (the paper-parity default).
+    pub measured_beta: Option<f64>,
+    /// Distribution of per-update gradient staleness (model versions
+    /// applied between an update's read and its merge). `None` when the
+    /// run had no metrics hub attached.
+    pub staleness: Option<Summary>,
 }
 
 impl TrainResult {
@@ -212,6 +268,7 @@ mod tests {
                     final_batch: 56,
                     retired: None,
                     timeline: UtilizationTimeline::new(),
+                    timeline_summary: TimelineSummary::default(),
                 },
                 WorkerStats {
                     kind: WorkerKind::Gpu,
@@ -221,6 +278,7 @@ mod tests {
                     final_batch: 8192,
                     retired: None,
                     timeline: UtilizationTimeline::new(),
+                    timeline_summary: TimelineSummary::default(),
                 },
             ],
             duration: 3.0,
@@ -228,6 +286,8 @@ mod tests {
             trace_path: None,
             requeued_batches: 0,
             aborted: None,
+            measured_beta: None,
+            staleness: None,
         }
     }
 
@@ -281,9 +341,43 @@ mod tests {
             trace_path: None,
             requeued_batches: 0,
             aborted: None,
+            measured_beta: None,
+            staleness: None,
         };
         assert_eq!(r.min_loss(), f32::INFINITY);
         assert_eq!(r.cpu_update_fraction(), 0.0);
         assert_eq!(r.time_to_loss(1.0), None);
+    }
+
+    #[test]
+    fn timeline_summary_survives_serde_roundtrip() {
+        let mut r = result();
+        let w = &mut r.workers[0];
+        w.timeline.record(0.0, 1.0, 1.0);
+        w.timeline.record(2.0, 3.0, 1.0);
+        w.summarize_timeline();
+        assert_eq!(w.timeline_summary.intervals, 2);
+        assert!((w.timeline_summary.busy_secs - 2.0).abs() < 1e-12);
+        assert!((w.timeline_summary.horizon - 3.0).abs() < 1e-12);
+        assert!((w.timeline_summary.busy_fraction - 2.0 / 3.0).abs() < 1e-12);
+
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: TrainResult = serde_json::from_str(&json).expect("deserialize");
+        // The raw timeline is skipped, but its digest round-trips.
+        assert!(back.workers[0].timeline.segments().is_empty());
+        assert_eq!(
+            back.workers[0].timeline_summary,
+            r.workers[0].timeline_summary
+        );
+    }
+
+    #[test]
+    fn new_fields_tolerate_missing_keys() {
+        // Results written before measured β / staleness existed must still
+        // load: the serde shim maps missing keys to `None` for Options.
+        let json = serde_json::to_string(&result()).expect("serialize");
+        let back: TrainResult = serde_json::from_str(&json).expect("deserialize");
+        assert!(back.measured_beta.is_none());
+        assert!(back.staleness.is_none());
     }
 }

@@ -61,6 +61,7 @@ fn config(algo: AlgorithmKind, seed: u64) -> SimEngineConfig {
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: 0.01,
             eval_subsample: 256,
             seed,

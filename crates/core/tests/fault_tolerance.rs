@@ -66,6 +66,7 @@ fn config(algo: AlgorithmKind, secs: f64, plan: FaultPlan) -> ThreadedEngineConf
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: secs / 4.0,
             eval_subsample: 200,
             seed: 3,

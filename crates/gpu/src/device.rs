@@ -1,5 +1,6 @@
 //! The GPU device facade: memory + transfers + virtual-time accounting.
 
+use hetero_metrics::{HistHandle, Metric, MetricsHub};
 use hetero_sim::{DeviceModel, GpuModel};
 use hetero_trace::{EventKind, GaugeHandle, TraceSink};
 use parking_lot::Mutex;
@@ -13,6 +14,11 @@ struct GpuTrace {
     worker: u32,
     /// Cumulative synchronization-stall seconds.
     stall_secs: GaugeHandle,
+    /// Per-upload transfer-time histogram (`hetero-metrics`; disabled
+    /// unless built with [`GpuDevice::new_observed`]).
+    h2d_hist: HistHandle,
+    /// Per-download transfer-time histogram.
+    d2h_hist: HistHandle,
 }
 
 impl GpuTrace {
@@ -21,6 +27,8 @@ impl GpuTrace {
             sink: TraceSink::disabled(),
             worker: 0,
             stall_secs: GaugeHandle::disabled(),
+            h2d_hist: HistHandle::disabled(),
+            d2h_hist: HistHandle::disabled(),
         }
     }
 }
@@ -68,11 +76,20 @@ impl GpuDevice {
     /// Create a device whose transfers, kernels, stalls, and memory usage
     /// are observable through `sink`. Events are stamped with `worker`.
     pub fn new_traced(perf: GpuModel, sink: &TraceSink, worker: u32) -> Self {
-        let trace = if sink.enabled() {
+        Self::new_observed(perf, sink, worker, &MetricsHub::disabled())
+    }
+
+    /// Like [`GpuDevice::new_traced`], additionally recording every
+    /// transfer's modeled duration into `hub`'s per-worker `H2d`/`D2h`
+    /// histograms. With a disabled hub this is exactly `new_traced`.
+    pub fn new_observed(perf: GpuModel, sink: &TraceSink, worker: u32, hub: &MetricsHub) -> Self {
+        let trace = if sink.enabled() || hub.is_enabled() {
             GpuTrace {
                 sink: sink.clone(),
                 worker,
                 stall_secs: sink.gauge(&format!("gpu.w{worker}.stall_secs")),
+                h2d_hist: hub.histogram(Metric::H2d, worker),
+                d2h_hist: hub.histogram(Metric::D2h, worker),
             }
         } else {
             GpuTrace::disabled()
@@ -164,6 +181,7 @@ impl GpuDevice {
         drop(t);
         let secs = self.perf.transfer_time(bytes);
         *self.busy.lock() += secs;
+        self.trace.h2d_hist.record_secs(secs);
         if self.trace.sink.enabled() {
             self.trace.sink.emit(
                 self.trace.worker,
@@ -199,6 +217,7 @@ impl GpuDevice {
         drop(t);
         let secs = self.perf.transfer_time(bytes);
         *self.busy.lock() += secs;
+        self.trace.d2h_hist.record_secs(secs);
         if self.trace.sink.enabled() {
             self.trace.sink.emit(
                 self.trace.worker,
@@ -318,6 +337,24 @@ mod tests {
         // Buffer still live: gauge mirrors bytes in use.
         assert_eq!(counters.get("gpu.w2.mem_used_bytes"), Some(&1024.0));
         assert_eq!(counters.get("gpu.w2.stall_secs"), Some(&0.25));
+    }
+
+    #[test]
+    fn observed_device_fills_transfer_histograms() {
+        let sink = hetero_trace::TraceSink::wall(256);
+        let hub = MetricsHub::new();
+        let dev = GpuDevice::new_observed(GpuModel::v100(), &sink, 1, &hub);
+        let buf = dev.h2d(&vec![1.0f32; 1 << 16]).unwrap();
+        let mut out = vec![0.0f32; 1 << 16];
+        dev.d2h_into(buf, &mut out);
+        let snap = hub.snapshot();
+        let h2d = snap.series_for(Metric::H2d, 1).unwrap();
+        let d2h = snap.series_for(Metric::D2h, 1).unwrap();
+        assert_eq!(h2d.count(), 1);
+        assert_eq!(d2h.count(), 1);
+        // Recorded nanoseconds match the perf model's transfer time.
+        let expect_ns = (dev.perf().transfer_time(4 << 16) * 1e9) as u64;
+        assert!(h2d.sum().abs_diff(expect_ns) <= 1);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! OpenMetrics text-format exporter and strict validator.
+//!
+//! [`render`] turns a [`TraceSink`]'s counter/gauge registry plus a
+//! [`MetricsHub`]'s histograms into one OpenMetrics exposition
+//! (<https://prometheus.io/docs/specs/om/open_metrics_spec/>): counters as
+//! `counter` families (`_total` samples), gauges as `gauge` families, and
+//! every histogram as a `histogram` family with a fixed log-spaced `le`
+//! ladder, `_sum`, and `_count`. No async runtime anywhere — the optional
+//! scrape endpoint ([`crate::server::ScrapeServer`]) serves this string
+//! over a plain `std::net::TcpListener`.
+//!
+//! [`validate_openmetrics`] is the strict line-format checker the test
+//! suite, the dashboard example, and CI all run against rendered output:
+//! HELP/TYPE ordering, name/label syntax and escaping, `le` monotonicity,
+//! and `_bucket`/`_sum`/`_count` consistency.
+
+use crate::hub::{HubSnapshot, Metric, MetricsHub, GLOBAL_WORKER};
+use hetero_trace::{TraceSink, TypedSnapshot};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Prefix applied to every exported family name.
+pub const NAME_PREFIX: &str = "hetero_";
+
+/// Upper bounds (in nanoseconds) of the `le` ladder used for duration
+/// histograms: 1µs … 100s, one decade apart. Exported in seconds.
+const SECONDS_LADDER_NS: [u64; 9] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
+
+/// `le` ladder for count-valued histograms (staleness, merge retries).
+const COUNT_LADDER: [u64; 12] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 512, 2048, 8192];
+
+/// Render the full exposition for a live sink + hub.
+pub fn render(sink: &TraceSink, hub: &MetricsHub) -> String {
+    render_parts(&sink.snapshot_typed(), &hub.snapshot())
+}
+
+/// Render from already-taken snapshots (what [`render`] does internally;
+/// split out so tests can fabricate inputs).
+pub fn render_parts(typed: &TypedSnapshot, hub: &HubSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &typed.counters {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {fam} Trace counter {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam}_total {value}");
+    }
+    for (name, value) in &typed.gauges {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {fam} Trace gauge {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", fmt_value(*value));
+    }
+    for metric in Metric::ALL {
+        let workers: Vec<u32> = hub
+            .series
+            .iter()
+            .filter(|s| s.metric == metric)
+            .map(|s| s.worker)
+            .collect();
+        if workers.is_empty() {
+            continue;
+        }
+        let fam = histogram_family(metric);
+        let _ = writeln!(out, "# HELP {fam} {}", escape_help(metric.help()));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        for worker in workers {
+            let Some(snap) = hub.series_for(metric, worker) else {
+                continue;
+            };
+            let label = worker_label(worker);
+            if metric.is_duration() {
+                for ns in SECONDS_LADDER_NS {
+                    let le = fmt_value(ns as f64 / 1e9);
+                    let _ = writeln!(
+                        out,
+                        "{fam}_bucket{{worker=\"{label}\",le=\"{le}\"}} {}",
+                        snap.count_le(ns)
+                    );
+                }
+            } else {
+                for b in COUNT_LADDER {
+                    let _ = writeln!(
+                        out,
+                        "{fam}_bucket{{worker=\"{label}\",le=\"{b}\"}} {}",
+                        snap.count_le(b)
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{worker=\"{label}\",le=\"+Inf\"}} {}",
+                snap.count()
+            );
+            let sum = if metric.is_duration() {
+                fmt_value(snap.sum() as f64 / 1e9)
+            } else {
+                format!("{}", snap.sum())
+            };
+            let _ = writeln!(out, "{fam}_sum{{worker=\"{label}\"}} {sum}");
+            let _ = writeln!(out, "{fam}_count{{worker=\"{label}\"}} {}", snap.count());
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Exported family name for a hub metric (`hetero_` prefix, `_seconds`
+/// suffix on durations).
+pub fn histogram_family(metric: Metric) -> String {
+    if metric.is_duration() {
+        format!("{NAME_PREFIX}{}_seconds", metric.name())
+    } else {
+        format!("{NAME_PREFIX}{}", metric.name())
+    }
+}
+
+fn worker_label(worker: u32) -> String {
+    if worker == GLOBAL_WORKER {
+        "global".to_string()
+    } else {
+        worker.to_string()
+    }
+}
+
+/// Dotted internal counter names (`mq.w0.pushes`) → OpenMetrics names
+/// (`hetero_mq_w0_pushes`): prefix, dots and any other illegal character
+/// to underscores.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(NAME_PREFIX.len() + name.len());
+    out.push_str(NAME_PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// `f64` → sample text: plain decimal, never exponent (OpenMetrics allows
+/// exponents, but fixed decimals keep the validator and diffs simple).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v}");
+        if s.contains('e') || s.contains('E') {
+            // Rare extreme magnitudes: fall back to enough fixed digits.
+            format!("{v:.12}")
+        } else {
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+    Unknown,
+}
+
+struct FamilyState {
+    name: String,
+    typ: FamilyType,
+    saw_help: bool,
+    saw_samples: bool,
+    // histogram bookkeeping, keyed by non-`le` label signature
+    bucket_runs: Vec<(String, Vec<(f64, u64)>)>,
+    counts: Vec<(String, u64)>,
+    sums: Vec<String>,
+}
+
+impl FamilyState {
+    fn new(name: &str) -> Self {
+        FamilyState {
+            name: name.to_string(),
+            typ: FamilyType::Unknown,
+            saw_help: false,
+            saw_samples: false,
+            bucket_runs: Vec::new(),
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parsed label set: `(name, value)` pairs in source order.
+type Labels = Vec<(String, String)>;
+
+/// Parse `{k="v",...}`; returns (labels, rest-after-`}`), or an error.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = &s[1..]; // skip '{'
+    loop {
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label missing '='".to_string())?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".into());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                '\n' => return Err("raw newline in label value".into()),
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.starts_with('}') {
+            return Err("expected ',' or '}' after label".into());
+        }
+    }
+}
+
+fn finish_family(fam: &FamilyState) -> Result<(), String> {
+    if fam.typ == FamilyType::Unknown {
+        return Err(format!(
+            "family {} has samples before/without # TYPE",
+            fam.name
+        ));
+    }
+    if fam.typ != FamilyType::Histogram {
+        return Ok(());
+    }
+    if !fam.saw_samples {
+        return Ok(());
+    }
+    for (sig, run) in &fam.bucket_runs {
+        if run.is_empty() {
+            return Err(format!("{}{{{sig}}}: no buckets", fam.name));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = 0u64;
+        for (le, count) in run {
+            if *le <= prev_le {
+                return Err(format!(
+                    "{}{{{sig}}}: le ladder not strictly increasing at {le}",
+                    fam.name
+                ));
+            }
+            if *count < prev_count {
+                return Err(format!(
+                    "{}{{{sig}}}: cumulative bucket count decreased at le={le}",
+                    fam.name
+                ));
+            }
+            prev_le = *le;
+            prev_count = *count;
+        }
+        let (last_le, last_count) = run[run.len() - 1];
+        if !last_le.is_infinite() {
+            return Err(format!("{}{{{sig}}}: missing le=\"+Inf\" bucket", fam.name));
+        }
+        let Some((_, total)) = fam.counts.iter().find(|(s, _)| s == sig) else {
+            return Err(format!("{}{{{sig}}}: missing _count sample", fam.name));
+        };
+        if *total != last_count {
+            return Err(format!(
+                "{}{{{sig}}}: _count {total} != +Inf bucket {last_count}",
+                fam.name
+            ));
+        }
+        if !fam.sums.iter().any(|s| s == sig) {
+            return Err(format!("{}{{{sig}}}: missing _sum sample", fam.name));
+        }
+    }
+    Ok(())
+}
+
+/// Strictly validate an OpenMetrics exposition. Checks, per the spec
+/// subset this crate emits:
+///
+/// - terminated by exactly one final `# EOF` line;
+/// - per family: `# HELP` at most once and before `# TYPE`, `# TYPE`
+///   exactly once and before any sample, families contiguous and never
+///   repeated;
+/// - metric and label names match `[a-zA-Z_][a-zA-Z0-9_]*`; label values
+///   quoted with only `\\`, `\"`, `\n` escapes;
+/// - sample names consistent with the family type (`_total` for counters,
+///   bare name for gauges, `_bucket`/`_sum`/`_count` for histograms);
+/// - histogram `le` ladders strictly increasing and ending at `+Inf`,
+///   cumulative counts non-decreasing, `_count` equal to the `+Inf`
+///   bucket, `_sum` present;
+/// - every value a finite number (counters additionally non-negative);
+/// - no duplicate time series (name + label set).
+pub fn validate_openmetrics(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let lines: Vec<&str> = text[..text.len() - 1].split('\n').collect();
+    if lines.last() != Some(&"# EOF") {
+        return Err("exposition must end with '# EOF'".into());
+    }
+    let mut family: Option<FamilyState> = None;
+    let mut closed_families: HashSet<String> = HashSet::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    let close = |fam: Option<FamilyState>, closed: &mut HashSet<String>| -> Result<(), String> {
+        if let Some(f) = fam {
+            finish_family(&f)?;
+            closed.insert(f.name);
+        }
+        Ok(())
+    };
+
+    for (lineno, line) in lines.iter().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if *line == "# EOF" {
+            if lineno != lines.len() - 1 {
+                return err("'# EOF' before end of exposition".into());
+            }
+            break;
+        }
+        if line.is_empty() {
+            return err("blank line".into());
+        }
+        if let Some(meta) = line.strip_prefix("# ") {
+            let (kind, rest) = meta.split_once(' ').unwrap_or((meta, ""));
+            match kind {
+                "HELP" | "TYPE" | "UNIT" => {
+                    let (name, payload) = rest.split_once(' ').unwrap_or((rest, ""));
+                    if !valid_name(name) {
+                        return err(format!("bad metric family name {name:?}"));
+                    }
+                    let starts_new = family.as_ref().is_none_or(|f| f.name != name);
+                    if starts_new {
+                        if closed_families.contains(name) {
+                            return err(format!("family {name} is not contiguous"));
+                        }
+                        close(family.take(), &mut closed_families)?;
+                        family = Some(FamilyState::new(name));
+                    }
+                    let fam = family.as_mut().ok_or("unreachable")?;
+                    if fam.saw_samples {
+                        return err(format!("metadata after samples for family {name}"));
+                    }
+                    match kind {
+                        "HELP" => {
+                            if fam.saw_help {
+                                return err(format!("duplicate # HELP for {name}"));
+                            }
+                            if fam.typ != FamilyType::Unknown {
+                                return err(format!("# HELP after # TYPE for {name}"));
+                            }
+                            fam.saw_help = true;
+                            if payload.is_empty() {
+                                return err(format!("empty HELP text for {name}"));
+                            }
+                        }
+                        "TYPE" => {
+                            if fam.typ != FamilyType::Unknown {
+                                return err(format!("duplicate # TYPE for {name}"));
+                            }
+                            fam.typ = match payload {
+                                "counter" => FamilyType::Counter,
+                                "gauge" => FamilyType::Gauge,
+                                "histogram" => FamilyType::Histogram,
+                                other => return err(format!("unsupported type {other:?}")),
+                            };
+                        }
+                        _ => {} // UNIT accepted, nothing tracked
+                    }
+                    continue;
+                }
+                other => return err(format!("unknown metadata line {other:?}")),
+            }
+        }
+        if line.starts_with('#') {
+            return err("malformed comment (expected '# HELP/TYPE/UNIT/EOF')".into());
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {}: sample missing value", lineno + 1))?;
+        let sample_name = &line[..name_end];
+        if !valid_name(sample_name) {
+            return err(format!("bad sample name {sample_name:?}"));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            match parse_labels(&line[name_end..]) {
+                Ok(ok) => ok,
+                Err(e) => return err(e),
+            }
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let value_str = rest.trim_start_matches(' ');
+        if value_str.is_empty() || rest == value_str {
+            return err("sample missing ' value'".into());
+        }
+        let value: f64 = match value_str {
+            "+Inf" | "-Inf" | "NaN" => return err(format!("non-finite value {value_str}")),
+            v => v
+                .parse()
+                .map_err(|_| format!("line {}: bad value {v:?}", lineno + 1))?,
+        };
+        if !value.is_finite() {
+            return err(format!("non-finite value {value_str}"));
+        }
+        {
+            let mut k = labels.clone();
+            k.sort();
+            let key = format!("{sample_name}|{k:?}");
+            if !seen_series.insert(key) {
+                return err(format!("duplicate series {sample_name}{labels:?}"));
+            }
+        }
+        let fam = match family.as_mut() {
+            Some(f) => f,
+            None => return err(format!("sample {sample_name} before any # TYPE")),
+        };
+        fam.saw_samples = true;
+        let base = &fam.name;
+        match fam.typ {
+            FamilyType::Unknown => {
+                return err(format!("sample {sample_name} in family without # TYPE"))
+            }
+            FamilyType::Counter => {
+                if sample_name != format!("{base}_total") {
+                    return err(format!("counter sample must be {base}_total"));
+                }
+                if value < 0.0 {
+                    return err(format!("negative counter value {value}"));
+                }
+            }
+            FamilyType::Gauge => {
+                if sample_name != *base {
+                    return err(format!("gauge sample must be named {base}"));
+                }
+            }
+            FamilyType::Histogram => {
+                let sig_of = |ls: &[(String, String)]| {
+                    let mut parts: Vec<String> = ls
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    parts.sort();
+                    parts.join(",")
+                };
+                if sample_name == format!("{base}_bucket") {
+                    let Some((_, le)) = labels.iter().find(|(k, _)| k == "le") else {
+                        return err("histogram bucket missing le label".into());
+                    };
+                    let le_val = match le.as_str() {
+                        "+Inf" => f64::INFINITY,
+                        v => v
+                            .parse()
+                            .map_err(|_| format!("line {}: bad le {v:?}", lineno + 1))?,
+                    };
+                    if value < 0.0 || value.fract() != 0.0 {
+                        return err(format!("bucket count must be a whole number, got {value}"));
+                    }
+                    let sig = sig_of(&labels);
+                    match fam.bucket_runs.iter_mut().find(|(s, _)| *s == sig) {
+                        Some((_, run)) => run.push((le_val, value as u64)),
+                        None => fam.bucket_runs.push((sig, vec![(le_val, value as u64)])),
+                    }
+                } else if sample_name == format!("{base}_sum") {
+                    fam.sums.push(sig_of(&labels));
+                } else if sample_name == format!("{base}_count") {
+                    if value < 0.0 || value.fract() != 0.0 {
+                        return err(format!("_count must be a whole number, got {value}"));
+                    }
+                    fam.counts.push((sig_of(&labels), value as u64));
+                } else {
+                    return err(format!(
+                        "histogram sample {sample_name} must be {base}_bucket/_sum/_count"
+                    ));
+                }
+            }
+        }
+    }
+    close(family.take(), &mut closed_families)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::MetricsHub;
+    use hetero_trace::{TraceSink, DEFAULT_RING_CAPACITY};
+
+    #[test]
+    fn render_of_live_sink_and_hub_validates() {
+        let sink = TraceSink::wall(DEFAULT_RING_CAPACITY);
+        sink.counter("engine.requeues").add(2);
+        sink.gauge("engine.beta").set(0.97);
+        let hub = MetricsHub::new();
+        let h = hub.histogram(Metric::BatchLatency, 0);
+        for i in 0..100u64 {
+            h.record(i * 10_000);
+        }
+        hub.histogram(Metric::Staleness, 1).record(3);
+        let text = render(&sink, &hub);
+        validate_openmetrics(&text).unwrap();
+        assert!(text.contains("hetero_engine_requeues_total 2"));
+        assert!(text.contains("# TYPE hetero_batch_latency_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.ends_with("# EOF\n"));
+    }
+}

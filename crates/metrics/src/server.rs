@@ -1,0 +1,145 @@
+//! Minimal OpenMetrics scrape endpoint over `std::net::TcpListener`.
+//!
+//! No async runtime, no HTTP library: one background thread accepts
+//! connections, reads the request head (best-effort), and answers every
+//! request with a freshly rendered exposition from the caller-supplied
+//! closure. Good enough for a Prometheus scraper or a one-shot `curl`
+//! during a training run; not a general web server.
+//!
+//! Shutdown is cooperative: [`ScrapeServer`]'s `Drop` sets a flag and
+//! connects to its own listener to unblock `accept`, then joins the
+//! thread — no detached threads survive the server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Produces the exposition body for each scrape.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running scrape endpoint. Dropping it shuts the listener down and
+/// joins the serving thread.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `render()` to every request.
+    pub fn bind(addr: &str, render: RenderFn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("hetero-scrape".into())
+            .spawn(move || serve(listener, flag, render))?;
+        Ok(ScrapeServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        // Relaxed store + a wake-up connection: the serving thread re-reads
+        // the flag after every accept, and the join below is the real
+        // synchronization point; the flag itself publishes no other memory.
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, shutdown: Arc<AtomicBool>, render: RenderFn) {
+    for stream in listener.incoming() {
+        // Relaxed load: see the justification at the store in `drop`.
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        // Drain the request head so well-behaved clients see a clean
+        // exchange; ignore errors — we answer regardless.
+        let mut buf = [0u8; 4096];
+        let mut head = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let body = render();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\n\
+             Content-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_rendered_body_and_shuts_down() {
+        let server = ScrapeServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| "# HELP hetero_x x\n# TYPE hetero_x gauge\nhetero_x 1\n# EOF\n".into()),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let response = scrape(addr);
+        assert!(response.starts_with("HTTP/1.0 200 OK"));
+        assert!(response.contains("application/openmetrics-text"));
+        assert!(response.ends_with("# EOF\n"));
+        // A second scrape re-renders.
+        assert!(scrape(addr).contains("hetero_x 1"));
+        drop(server);
+        // After drop the port no longer serves.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        let mut b = String::new();
+                        s.read_to_string(&mut b).map(|_| b.is_empty())
+                    })
+                    .unwrap_or(true)
+        );
+    }
+}

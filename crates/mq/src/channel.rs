@@ -352,6 +352,17 @@ impl<T: Send> Receiver<T> {
         }
     }
 
+    /// Blocking receive that also reports how long the call waited —
+    /// near-zero when a message was already queued, the park duration
+    /// otherwise. Worker loops feed the wait into the `QueueWait`
+    /// histogram (`hetero-metrics`) to expose queue-starvation
+    /// distributions without re-deriving them from raw traces.
+    pub fn recv_timed(&self) -> (Result<T, RecvError>, Duration) {
+        let start = std::time::Instant::now();
+        let result = self.recv();
+        (result, start.elapsed())
+    }
+
     /// Drain everything currently queued without blocking.
     pub fn drain(&self) -> Vec<T> {
         let mut out = Vec::new();
@@ -494,6 +505,25 @@ mod tests {
         }
         assert_eq!(n, senders * per);
         assert_eq!(sum, senders * per * (per - 1) / 2);
+    }
+
+    #[test]
+    fn recv_timed_measures_the_park() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        let (v, wait) = rx.recv_timed();
+        assert_eq!(v, Ok(1));
+        assert!(wait < Duration::from_millis(50));
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx.send(2).unwrap();
+        });
+        let (v, wait) = rx.recv_timed();
+        assert_eq!(v, Ok(2));
+        assert!(wait >= Duration::from_millis(20), "waited {wait:?}");
+        h.join().unwrap();
+        let (v, _) = rx.recv_timed();
+        assert_eq!(v, Err(RecvError));
     }
 
     #[test]

@@ -30,12 +30,22 @@ use crate::sync::{AtomicU32, AtomicU64, Ordering};
 // (`tests/loom_shared.rs`) checks the CAS path loses nothing and the racy
 // path stays within its feasible envelope under all interleavings.
 
+/// Every how many parameters the sampled racy path probes for write
+/// conflicts (see [`SharedModel::apply_gradient_racy_sampled`]). Sparse on
+/// purpose: the probe is a strong CAS instead of a plain store, and the
+/// estimator only needs a sample, not a census.
+const CONFLICT_SAMPLE_STRIDE: usize = 16;
+
 /// Shared parameter store for concurrent SGD.
 pub struct SharedModel {
     spec: MlpSpec,
     params: Vec<AtomicU32>,
     /// Total number of model updates applied (any worker).
     updates: AtomicU64,
+    /// Parameter writes probed for conflicts by the sampled racy path.
+    conflict_samples: AtomicU64,
+    /// Probed writes that observed a racing foreign write.
+    conflict_losses: AtomicU64,
 }
 
 impl SharedModel {
@@ -50,6 +60,8 @@ impl SharedModel {
             spec: model.spec().clone(),
             params,
             updates: AtomicU64::new(0),
+            conflict_samples: AtomicU64::new(0),
+            conflict_losses: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +160,78 @@ impl SharedModel {
         self.updates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Hogwild update with **conflict sampling**: identical model dynamics
+    /// to [`apply_gradient_racy`](Self::apply_gradient_racy), but every
+    /// `CONFLICT_SAMPLE_STRIDE`-th (16th) parameter write is probed with a
+    /// strong `compare_exchange` first. A probe that fails observed a
+    /// foreign write racing this one — exactly the event that makes a
+    /// Hogwild update partially "not survive" — and is tallied into the
+    /// measured-β estimator ([`beta_estimate`](Self::beta_estimate)). On a
+    /// failed probe the value is stored anyway, preserving the racy
+    /// last-writer-wins semantics bit-for-bit.
+    pub fn apply_gradient_racy_sampled(&self, grad: &Model, eta: f32) {
+        assert_eq!(grad.spec(), &self.spec, "gradient spec mismatch");
+        let mut idx = 0;
+        let mut samples = 0u64;
+        let mut losses = 0u64;
+        let mut apply = |g: f32| {
+            let p = &self.params[idx];
+            // Relaxed load/store pairs: same racy Hogwild semantics as
+            // `apply_gradient_racy` (module ordering note above); the
+            // sampled strong CAS below also needs no ordering — only its
+            // success/failure verdict is used, as a conflict *observation*.
+            let cur = p.load(Ordering::Relaxed);
+            let next = (f32::from_bits(cur) - eta * g).to_bits();
+            if idx % CONFLICT_SAMPLE_STRIDE == 0 {
+                samples += 1;
+                if p.compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {
+                    losses += 1;
+                    p.store(next, Ordering::Relaxed);
+                }
+            } else {
+                // Relaxed: unsampled lane of the same racy store above.
+                p.store(next, Ordering::Relaxed);
+            }
+            idx += 1;
+        };
+        for layer in grad.layers() {
+            layer.w.as_slice().iter().for_each(|&g| apply(g));
+            layer.b.iter().for_each(|&g| apply(g));
+        }
+        // Relaxed: monitoring counters.
+        self.conflict_samples.fetch_add(samples, Ordering::Relaxed);
+        if losses > 0 {
+            self.conflict_losses.fetch_add(losses, Ordering::Relaxed);
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probed and conflicting parameter writes accumulated by
+    /// [`apply_gradient_racy_sampled`](Self::apply_gradient_racy_sampled):
+    /// `(samples, losses)`.
+    pub fn conflict_counts(&self) -> (u64, u64) {
+        // Relaxed: monitoring counters.
+        (
+            self.conflict_samples.load(Ordering::Relaxed),
+            self.conflict_losses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Measured surviving-update fraction β̂ = 1 − losses/samples, from the
+    /// sampled conflict probes. `None` until at least one probe ran (e.g.
+    /// the run never used the sampled path). The paper fixes β = 1 by
+    /// default; this estimator lets the adaptive controller credit CPU
+    /// batches with `t·β̂` instead when `TrainConfig::measured_beta` is on.
+    pub fn beta_estimate(&self) -> Option<f64> {
+        let (samples, losses) = self.conflict_counts();
+        if samples == 0 {
+            return None;
+        }
+        Some(1.0 - losses as f64 / samples as f64)
+    }
+
     /// Lock-free exact update: per-element CAS loop; never loses a write.
     pub fn apply_gradient_atomic(&self, grad: &Model, eta: f32) {
         assert_eq!(grad.spec(), &self.spec, "gradient spec mismatch");
@@ -190,10 +274,19 @@ impl SharedModel {
     /// `scale < 1` implements the paper's §VI-B staleness compensation —
     /// discounting a delta whose base snapshot has since gone stale.
     pub fn merge_delta_scaled(&self, base: &Model, replica: &Model, scale: f32) {
+        self.merge_delta_scaled_observed(base, replica, scale);
+    }
+
+    /// Like [`merge_delta_scaled`](Self::merge_delta_scaled) but returns
+    /// the number of CAS retries the merge incurred — a direct measure of
+    /// merge contention with concurrent Hogwild writers (0 on an
+    /// uncontended merge). Feeds the `MergeRetries` histogram.
+    pub fn merge_delta_scaled_observed(&self, base: &Model, replica: &Model, scale: f32) -> u64 {
         assert_eq!(base.spec(), &self.spec, "base spec mismatch");
         assert_eq!(replica.spec(), &self.spec, "replica spec mismatch");
         assert!(scale.is_finite() && scale >= 0.0, "bad merge scale");
         let mut idx = 0;
+        let mut retries = 0u64;
         let mut merge = |bv: f32, rv: f32| {
             let p = &self.params[idx];
             idx += 1;
@@ -202,13 +295,17 @@ impl SharedModel {
                 return;
             }
             // Relaxed CAS loop: same argument as `apply_gradient_atomic` —
-            // the add must not be lost, but needs no ordering.
+            // the add must not be lost, but needs no ordering. Failed
+            // exchanges are tallied as contention observations.
             let mut cur = p.load(Ordering::Relaxed);
             loop {
                 let next = (f32::from_bits(cur) + delta).to_bits();
                 match p.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                     Ok(_) => break,
-                    Err(actual) => cur = actual,
+                    Err(actual) => {
+                        retries += 1;
+                        cur = actual;
+                    }
                 }
             }
         };
@@ -222,6 +319,7 @@ impl SharedModel {
         }
         // Relaxed: monitoring counter.
         self.updates.fetch_add(1, Ordering::Relaxed);
+        retries
     }
 }
 
@@ -287,6 +385,66 @@ mod tests {
         s1.apply_gradient_racy(&grad, 0.5);
         s2.apply_gradient_atomic(&grad, 0.5);
         assert_eq!(s1.read_flat(), s2.read_flat());
+    }
+
+    #[test]
+    fn sampled_racy_matches_racy_and_measures_beta_one_when_serial() {
+        let (m, s1) = setup();
+        let s2 = SharedModel::new(&m);
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 0, 1.0);
+        grad.layers_mut()[1].b[0] = -0.5;
+        s1.apply_gradient_racy(&grad, 0.3);
+        s2.apply_gradient_racy_sampled(&grad, 0.3);
+        assert_eq!(s1.read_flat(), s2.read_flat());
+        assert_eq!(s2.update_count(), 1);
+        // Uncontended probes never observe a conflict: β̂ = 1 exactly.
+        let (samples, losses) = s2.conflict_counts();
+        assert!(samples >= 1);
+        assert_eq!(losses, 0);
+        assert_eq!(s2.beta_estimate(), Some(1.0));
+        // The plain racy path never probes, so it has no estimate.
+        assert_eq!(s1.beta_estimate(), None);
+    }
+
+    #[test]
+    fn sampled_racy_under_contention_keeps_beta_in_unit_interval() {
+        let (m, s) = setup();
+        let s = Arc::new(s);
+        let mut grad = Model::zeros_like(m.spec());
+        grad.layers_mut()[0].w.set(0, 0, 1e-6);
+        let grad = Arc::new(grad);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let g = Arc::clone(&grad);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        s.apply_gradient_racy_sampled(&g, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let beta = s.beta_estimate().unwrap();
+        assert!((0.0..=1.0).contains(&beta), "beta {beta} out of range");
+        let (samples, losses) = s.conflict_counts();
+        assert!(samples >= 8000);
+        assert!(losses <= samples);
+    }
+
+    #[test]
+    fn observed_merge_reports_zero_retries_uncontended() {
+        let (m, s) = setup();
+        let base = m.clone();
+        let mut replica = m.clone();
+        let old = replica.layers()[0].w.get(0, 1);
+        replica.layers_mut()[0].w.set(0, 1, old + 1.0);
+        let retries = s.merge_delta_scaled_observed(&base, &replica, 1.0);
+        assert_eq!(retries, 0);
+        assert!((s.snapshot().layers()[0].w.get(0, 1) - (old + 1.0)).abs() < 1e-6);
     }
 
     #[test]

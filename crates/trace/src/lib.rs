@@ -36,7 +36,7 @@ mod sink;
 pub mod export;
 pub mod utilization;
 
-pub use counters::{CounterHandle, GaugeHandle, Registry};
+pub use counters::{CounterHandle, GaugeHandle, Registry, TypedSnapshot};
 pub use event::{Event, EventKind, ResizeReason, COORDINATOR};
 pub use ring::EventRing;
 pub use sink::{ShardDump, TimeDomain, Trace, TraceSink, DEFAULT_RING_CAPACITY};

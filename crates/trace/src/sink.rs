@@ -272,6 +272,16 @@ impl TraceSink {
             .map_or_else(Vec::new, |i| i.registry.snapshot())
     }
 
+    /// Point-in-time counters and gauges, kept apart with native types
+    /// (empty when disabled). The OpenMetrics exporter in `hetero-metrics`
+    /// renders counters as `counter` families and gauges as `gauge`
+    /// families from this.
+    pub fn snapshot_typed(&self) -> crate::counters::TypedSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(Default::default, |i| i.registry.snapshot_typed())
+    }
+
     /// Take every buffered event out of every thread's ring, together with
     /// per-ring dropped counts and a counter snapshot. Rings stay
     /// registered, so tracing can continue after a drain.

@@ -42,6 +42,7 @@ const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/gpu/src/stream.rs",        // stream completion flags
     "crates/tensor/src/simd.rs",       // write-once dispatch memo (relaxed-only)
     "crates/bench/src/alloc_count.rs", // counting allocator (relaxed-only)
+    "crates/metrics/src/",             // histogram tallies + scrape shutdown flag (relaxed-only)
 ];
 
 /// The places allowed to start OS threads: the worker supervision layer,
@@ -50,6 +51,7 @@ const ORDERING_ALLOWLIST: &[&str] = &[
 const SPAWN_ALLOWLIST: &[&str] = &[
     "crates/core/src/engine_threads.rs",
     "crates/gpu/src/stream.rs",
+    "crates/metrics/src/server.rs",
 ];
 
 /// How many lines above an `Ordering::` use a justification comment may

@@ -4,12 +4,12 @@
 //! The build environment has no crates.io access, so this crate provides a
 //! from-scratch miniature model checker with the same testing discipline:
 //!
-//! - **Serialized execution.** Threads spawned inside [`model`] are real OS
+//! - **Serialized execution.** Threads spawned inside [`model()`] are real OS
 //!   threads, but a token-passing scheduler lets exactly one run at a time.
 //!   Every operation on a loom primitive (atomic, mutex, condvar, cell,
 //!   spawn/join, yield) is a *scheduling point* where the checker may switch
 //!   threads.
-//! - **Exhaustive schedule exploration.** [`model`] re-runs the closure under
+//! - **Exhaustive schedule exploration.** [`model()`] re-runs the closure under
 //!   depth-first search over all scheduling decisions, bounded by a CHESS-style
 //!   preemption bound (default 2, `LOOM_MAX_PREEMPTIONS`): every interleaving
 //!   reachable with at most that many involuntary context switches is

@@ -117,6 +117,13 @@ macro_rules! impl_float_range_strategy {
                 rng.gen_range(self.clone())
             }
         }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
     )*};
 }
 impl_float_range_strategy!(f32, f64);

@@ -118,6 +118,16 @@ macro_rules! float_range {
                 self.start + (self.end - self.start) * unit as $t
             }
         }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                // 53-bit mantissa draw in [0, 1]; the closed upper end is
+                // reachable (unlike the half-open Range impl above).
+                let unit = (draw(u64::MAX) >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                lo + (hi - lo) * unit as $t
+            }
+        }
     )*};
 }
 float_range!(f32, f64);

@@ -172,6 +172,7 @@ fn main() {
         weight_decay: 0.0,
         staleness_discount: args.kappa,
         rayon_threads: 0,
+        measured_beta: false,
         eval_interval: args.budget / 20.0,
         eval_subsample: 2048,
         seed: args.seed,

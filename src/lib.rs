@@ -19,6 +19,7 @@
 //! | [`gpu`] | `hetero-gpu` | software GPU: allocator, streams, kernels |
 //! | [`core`] | `hetero-core` | coordinator/workers, Hogbatch algorithms, engines |
 //! | [`trace`] | `hetero-trace` | event tracing, counters, Chrome-trace export |
+//! | [`metrics`] | `hetero-metrics` | histograms, OpenMetrics export, live dashboard |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use hetero_core as core;
 pub use hetero_data as data;
 pub use hetero_gpu as gpu;
+pub use hetero_metrics as metrics;
 pub use hetero_mq as mq;
 pub use hetero_nn as nn;
 pub use hetero_sim as sim;
@@ -59,6 +61,7 @@ pub mod prelude {
         TrainResult, WorkerError, WorkerKind,
     };
     pub use hetero_data::{BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig};
+    pub use hetero_metrics::{DashboardFrame, Metric, MetricsHub, ScrapeServer, Summary};
     pub use hetero_nn::{Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets};
     pub use hetero_sim::{CpuModel, DeviceModel, GpuModel};
     pub use hetero_tensor::Matrix;

@@ -61,6 +61,7 @@ fn sim_config(
             weight_decay: 0.0,
             staleness_discount: 0.0,
             rayon_threads: 0,
+            measured_beta: false,
             eval_interval: budget / 8.0,
             eval_subsample: 512,
             seed: 5,

@@ -99,6 +99,8 @@ proptest! {
             trace_path: None,
             requeued_batches: 0,
             aborted: None,
+            measured_beta: None,
+            staleness: None,
         };
         let n = r.normalized_curve(basis);
         prop_assert!((n[0].loss - 3.0).abs() < 1e-3);
