@@ -23,9 +23,12 @@
 //! the centralized design.
 
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
-use hetero_nn::{Model, Workspace};
+use hetero_flight::{FlightRecorder, Provenance};
+use hetero_metrics::MetricsHub;
+use hetero_nn::{scan_model, MergeScan, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel};
 use hetero_tensor::Matrix;
+use hetero_trace::{EventKind, TimeDomain, COORDINATOR};
 use serde::{Deserialize, Serialize};
 
 use crate::config::TrainConfig;
@@ -132,6 +135,23 @@ impl PsEngine {
 
     /// Train on `dataset`; shards are contiguous equal splits.
     pub fn run(&self, dataset: &DenseDataset) -> TrainResult {
+        self.run_flight(dataset, &FlightRecorder::disabled())
+    }
+
+    /// [`PsEngine::run`] with a black-box flight recorder attached.
+    ///
+    /// The recorder's watchdog scans every server-applied gradient for
+    /// per-layer norms and NaN/±Inf and watches the loss curve at every
+    /// eval. This engine has no adaptive controller, so a
+    /// [`hetero_flight::HealthAction::Clamp`] has nothing to clamp — the
+    /// request is recorded in the health summary and otherwise ignored; an
+    /// abort stops the run with a postmortem bundle. A disabled recorder
+    /// reduces this to exactly [`PsEngine::run`].
+    pub fn run_flight(&self, dataset: &DenseDataset, flight: &FlightRecorder) -> TrainResult {
+        let watchdog = flight.watchdog();
+        // This engine takes no caller sink; the recorder's bounded ring
+        // retains the eval/health event window for postmortems.
+        let sink = flight.make_sink(TimeDomain::Virtual);
         let cfg = &self.cfg;
         let spec = &cfg.spec;
         assert_eq!(dataset.features(), spec.input_dim, "feature width");
@@ -154,6 +174,19 @@ impl PsEngine {
             .collect();
 
         let mut model = Model::new(spec.clone(), cfg.train.init, cfg.train.seed);
+        watchdog.ensure_layers(model.layers().len());
+        if flight.enabled() {
+            flight.set_provenance(Provenance {
+                engine: "ps".into(),
+                algorithm: "Parameter Server".into(),
+                dataset: dataset.name.clone(),
+                workers: w,
+                config_json: serde_json::to_string(&cfg.train).unwrap_or_default(),
+                git_sha: hetero_flight::read_git_sha(),
+                simd_level: format!("{:?}", hetero_tensor::simd::active_level()),
+            });
+        }
+        let mut health_scan = MergeScan::for_model(&model);
         let mut stats: Vec<WorkerStats> =
             devices.iter().map(|d| WorkerStats::new(d.kind())).collect();
         let mut queue: EventQueue<Pending> = EventQueue::new();
@@ -171,16 +204,23 @@ impl PsEngine {
             .expect("ps gemm pool");
         // The eval batch is the same fixed prefix every time — extract once.
         let (eval_x, eval_labels) = dataset.batch(0, eval_n);
-        let eval = |model: &Model, t: f64, epochs: f64, curve: &mut Vec<LossPoint>| {
+        let eval = |model: &Model, t: f64, epochs: f64, curve: &mut Vec<LossPoint>| -> f32 {
             let pass = pool.install(|| hetero_nn::forward(model, &eval_x, true));
+            let loss = hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss);
             curve.push(LossPoint {
                 time: t,
                 epochs,
-                loss: hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss),
+                loss,
                 accuracy: hetero_nn::accuracy(pass.probs(), eval_labels.as_targets()),
             });
+            if sink.enabled() {
+                sink.emit_at(t, COORDINATOR, EventKind::EvalPoint { loss: loss as f64 });
+            }
+            loss
         };
-        eval(&model, 0.0, 0.0, &mut curve);
+        // The initial loss seeds the watchdog's divergence/stall baseline.
+        let l0 = eval(&model, 0.0, 0.0, &mut curve);
+        watchdog.observe_eval(l0 as f64);
 
         // Reused per-completion buffers: the server processes one gradient
         // at a time, so one workspace serves every worker's batches.
@@ -237,12 +277,40 @@ impl PsEngine {
             if t > budget {
                 break;
             }
+            // Health abort raised by a previous gradient scan or eval
+            // observation stops the run here.
+            if let Some(reason) = watchdog.tripped() {
+                if sink.enabled() {
+                    sink.emit_at(
+                        t,
+                        COORDINATOR,
+                        EventKind::HealthEvent {
+                            action: "abort".to_string(),
+                            detail: reason,
+                        },
+                    );
+                }
+                break;
+            }
             // Gradient on the stale snapshot; server applies it with the
             // update-count-compensated learning rate.
             dataset.batch_into(p.range.0, p.range.1, &mut batch_x, &mut batch_labels);
             pool.install(|| {
                 ws.loss_and_gradient_into(&p.snapshot, &batch_x, batch_labels.as_targets(), true);
             });
+            if watchdog.enabled() {
+                health_scan.reset();
+                scan_model(ws.grad(), &mut health_scan);
+                for (l, ls) in health_scan.layers().iter().enumerate() {
+                    watchdog.observe_layer(
+                        p.worker as u32,
+                        l,
+                        stats[p.worker].batches,
+                        ls.sumsq,
+                        ls.nonfinite,
+                    );
+                }
+            }
             let mean_updates = (stats.iter().map(|s| s.updates).sum::<f64>() / w as f64).max(1.0);
             let own = stats[p.worker].updates.max(1.0);
             let comp = (mean_updates / own).powf(cfg.lr_compensation);
@@ -258,7 +326,23 @@ impl PsEngine {
 
             if t - last_eval >= cfg.train.eval_interval {
                 last_eval = t;
-                eval(&model, t, total_served(&shard_schedulers), &mut curve);
+                let loss = eval(&model, t, total_served(&shard_schedulers), &mut curve);
+                // No adaptive controller here: a Clamp action has nothing
+                // to act on, so the request is drained and only recorded.
+                watchdog.observe_eval(loss as f64);
+                let _ = watchdog.take_clamp_request();
+                if flight.enabled() {
+                    flight.record_snapshot(hetero_flight::HealthSnapshot {
+                        t,
+                        loss: loss as f64,
+                        epochs: total_served(&shard_schedulers),
+                        batches: vec![cfg.batch; w],
+                        beta: None,
+                        staleness_p50: None,
+                        staleness_p99: None,
+                        grad_peak_norm: watchdog.summary().peak_grad_norm,
+                    });
+                }
             }
             assign(
                 p.worker,
@@ -276,6 +360,15 @@ impl PsEngine {
         for s in &mut stats {
             s.summarize_timeline();
         }
+        let aborted = watchdog.tripped().map(|r| format!("health watchdog: {r}"));
+        let mut health = watchdog.enabled().then(|| watchdog.summary());
+        if flight.enabled() && aborted.is_some() {
+            let reason = aborted.clone().unwrap_or_default();
+            let path = flight.dump(&reason, sink.capture(), &MetricsHub::disabled());
+            if let (Some(h), Some(p)) = (health.as_mut(), path) {
+                h.postmortem = Some(p);
+            }
+        }
         TrainResult {
             algorithm: "Parameter Server".into(),
             dataset: dataset.name.clone(),
@@ -285,9 +378,10 @@ impl PsEngine {
             epochs: total_served(&shard_schedulers),
             trace_path: None,
             requeued_batches: 0,
-            aborted: None,
+            aborted,
             measured_beta: None,
             staleness: None,
+            health,
         }
     }
 }

@@ -22,8 +22,9 @@
 
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_flight::{FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog};
 use hetero_metrics::{HistHandle, Metric, MetricsHub};
-use hetero_nn::{Gradient, MlpSpec, Model, Workspace};
+use hetero_nn::{scan_model, Gradient, MergeScan, MlpSpec, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
 use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
@@ -215,6 +216,37 @@ impl SimEngine {
         sink: &TraceSink,
         hub: &MetricsHub,
     ) -> TrainResult {
+        self.run_flight(dataset, sink, hub, &FlightRecorder::disabled())
+    }
+
+    /// [`SimEngine::run_observed`] with a black-box flight recorder
+    /// attached.
+    ///
+    /// The recorder's watchdog scans every applied gradient for per-layer
+    /// norms and NaN/±Inf, watches the loss curve for divergence/stall at
+    /// every eval, and enforces its [`hetero_flight::HealthPolicy`] (warn /
+    /// clamp the adaptive controller / abort-with-postmortem). Observation
+    /// never feeds back into the virtual schedule, so an enabled recorder
+    /// leaves the simulated timeline and the math bit-identical — only an
+    /// explicit policy *action* (clamp, abort) changes the run, exactly as
+    /// it would on the threaded engine. A disabled recorder reduces this
+    /// to exactly [`SimEngine::run_observed`].
+    pub fn run_flight(
+        &self,
+        dataset: &DenseDataset,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+        flight: &FlightRecorder,
+    ) -> TrainResult {
+        // The retention window needs *some* sink; prefer the caller's, fall
+        // back to the recorder's bounded ring.
+        let flight_sink;
+        let sink = if flight.enabled() && !sink.enabled() {
+            flight_sink = flight.make_sink(hetero_trace::TimeDomain::Virtual);
+            &flight_sink
+        } else {
+            sink
+        };
         // Pin the GEMM fan-out to `train.rayon_threads` (0 = host cores)
         // for the whole run; the sim is single-coordinator, so the only
         // oversubscription possible is the pool itself exceeding the host.
@@ -227,7 +259,7 @@ impl SimEngine {
             .unwrap_or(1);
         sink.counter("engine.pool_oversubscription")
             .add(pool.current_num_threads().saturating_sub(host) as u64);
-        pool.install(|| self.run_traced_inner(dataset, sink, hub))
+        pool.install(|| self.run_traced_inner(dataset, sink, hub, flight))
     }
 
     fn run_traced_inner(
@@ -235,6 +267,7 @@ impl SimEngine {
         dataset: &DenseDataset,
         sink: &TraceSink,
         hub: &MetricsHub,
+        flight: &FlightRecorder,
     ) -> TrainResult {
         let cfg = &self.cfg;
         let train = &cfg.train;
@@ -296,6 +329,22 @@ impl SimEngine {
 
         // --- Model, schedule, eval subset --------------------------------------
         let mut model = Model::new(spec.clone(), train.init, train.seed);
+        let watchdog = flight.watchdog();
+        watchdog.ensure_layers(model.layers().len());
+        if flight.enabled() {
+            flight.set_provenance(Provenance {
+                engine: "sim".into(),
+                algorithm: algo.label().to_string(),
+                dataset: dataset.name.clone(),
+                workers: devices.len(),
+                config_json: serde_json::to_string(train).unwrap_or_default(),
+                git_sha: hetero_flight::read_git_sha(),
+                simd_level: format!("{:?}", hetero_tensor::simd::active_level()),
+            });
+        }
+        // Watchdog scratch: per-layer sumsq / non-finite counts of each
+        // applied gradient, reused across every event.
+        let mut health_scan = MergeScan::for_model(&model);
         let mut scheduler = BatchScheduler::new(dataset.len(), train.max_epochs);
         let eval_rows = eval_subset(dataset.len(), train.eval_subsample, train.seed);
         let (eval_x, eval_labels) = gather_rows(dataset, &eval_rows);
@@ -316,7 +365,8 @@ impl SimEngine {
                            epochs: f64,
                            model: &Model,
                            curve: &mut Vec<LossPoint>,
-                           eval_tl: &mut UtilizationTimeline| {
+                           eval_tl: &mut UtilizationTimeline|
+         -> f32 {
             let pass = hetero_nn::forward(model, &eval_x, true);
             let l = hetero_nn::loss(pass.probs(), eval_labels.as_targets(), model.spec().loss);
             let acc = hetero_nn::accuracy(pass.probs(), eval_labels.as_targets());
@@ -342,10 +392,91 @@ impl SimEngine {
                     timeline_rejects.add(1);
                 }
             }
+            l
         };
 
-        // Initial loss (identical across algorithms per §VII-A).
-        record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
+        // Initial loss (identical across algorithms per §VII-A); it seeds
+        // the watchdog's divergence/stall baseline (never reacts).
+        let l0 = record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
+        watchdog.observe_eval(l0 as f64);
+
+        // Health reactions need the controller and scheduler, which the
+        // event loop also borrows — macros keep everything lexical.
+        macro_rules! health_event {
+            ($t:expr, $action:expr, $detail:expr) => {
+                if sink.enabled() {
+                    sink.emit_at(
+                        $t,
+                        COORDINATOR,
+                        EventKind::HealthEvent {
+                            action: $action.to_string(),
+                            detail: $detail,
+                        },
+                    );
+                }
+            };
+        }
+        macro_rules! freeze_batches {
+            () => {{
+                for w in 0..devices.len() {
+                    controller.clamp_max_batch(w, controller.batch(w));
+                }
+                watchdog.note_clamp();
+            }};
+        }
+        macro_rules! handle_health {
+            ($loss:expr, $t:expr) => {{
+                let loss: f64 = $loss;
+                match watchdog.observe_eval(loss) {
+                    HealthAction::Ignore => {}
+                    HealthAction::Warn => {
+                        health_event!($t, "warn", format!("eval health warning at loss {loss:.4}"));
+                    }
+                    HealthAction::Clamp => {
+                        freeze_batches!();
+                        health_event!(
+                            $t,
+                            "clamp",
+                            format!("batch growth frozen at loss {loss:.4}")
+                        );
+                    }
+                    // The trip flag is set; the event loop's next pop turns
+                    // it into the abort.
+                    HealthAction::Abort => {}
+                }
+                if watchdog.take_clamp_request() {
+                    freeze_batches!();
+                    health_event!(
+                        $t,
+                        "clamp",
+                        "batch growth frozen on worker health report".to_string()
+                    );
+                }
+                if flight.enabled() {
+                    let stale = hub.summary(Metric::Staleness);
+                    let h = watchdog.summary();
+                    flight.record_snapshot(HealthSnapshot {
+                        t: $t,
+                        loss,
+                        epochs: scheduler.epochs_elapsed(),
+                        batches: (0..devices.len()).map(|w| controller.batch(w)).collect(),
+                        // The sim's β̂ is the idealized 1.0, known only at
+                        // the end of the run; snapshots leave it unset.
+                        beta: None,
+                        staleness_p50: stale.as_ref().map(|s| s.p50),
+                        staleness_p99: stale.as_ref().map(|s| s.p99),
+                        grad_peak_norm: h.peak_grad_norm,
+                    });
+                    if sink.enabled() {
+                        for (l, n) in h.layer_peak_norms.iter().enumerate() {
+                            sink.gauge(&format!("health.layer.{l}.grad_norm")).set(*n);
+                        }
+                        sink.gauge("health.nonfinite")
+                            .set(h.nonfinite_events as f64);
+                    }
+                }
+            }};
+        }
 
         // --- Kick off every worker ---------------------------------------------
         for (w, device) in devices.iter().enumerate() {
@@ -377,18 +508,26 @@ impl SimEngine {
             if t > budget {
                 break;
             }
+            // Health abort raised by a previous event's gradient scan or
+            // eval observation stops the virtual run here.
+            if let Some(reason) = watchdog.tripped() {
+                sink.set_virtual_now(t);
+                health_event!(t, "abort", reason);
+                break;
+            }
             // Publish the virtual clock so events emitted while handling
             // this step (merges, resizes, completions) are stamped at `t`.
             sink.set_virtual_now(t);
             match ev {
                 Ev::Eval => {
-                    record_eval(
+                    let loss = record_eval(
                         t,
                         scheduler.epochs_elapsed(),
                         &model,
                         &mut curve,
                         &mut eval_timeline,
                     );
+                    handle_health!(loss as f64, t);
                     last_eval_time = t;
                     let next = t + train.eval_interval;
                     if next <= budget {
@@ -416,6 +555,8 @@ impl SimEngine {
                         &mut anchor,
                         &mut scratch,
                         sink,
+                        &watchdog,
+                        &mut health_scan,
                     );
                     // Epoch-boundary loss evaluation (paper: "loss
                     // computation is always performed on the GPU at the
@@ -426,13 +567,14 @@ impl SimEngine {
                     {
                         last_epoch_evaled = range.epoch + 1;
                         last_eval_time = t;
-                        record_eval(
+                        let loss = record_eval(
                             t,
                             scheduler.epochs_elapsed(),
                             &model,
                             &mut curve,
                             &mut eval_timeline,
                         );
+                        handle_health!(loss as f64, t);
                     }
                     if sink.enabled() {
                         let g = &worker_gauges[worker];
@@ -486,11 +628,27 @@ impl SimEngine {
                 sink.gauge("engine.beta_measured").set(beta);
             }
         }
-        let aborted = if stats.iter().all(|s| s.retired.is_some()) {
-            Some("all workers retired by faults".to_string())
-        } else {
-            None
-        };
+        let aborted = watchdog
+            .tripped()
+            .map(|r| format!("health watchdog: {r}"))
+            .or_else(|| {
+                stats
+                    .iter()
+                    .all(|s| s.retired.is_some())
+                    .then(|| "all workers retired by faults".to_string())
+            });
+        // Black-box dump on any abnormal end (see the threaded engine for
+        // the full story); `capture` leaves the caller's trace intact.
+        let mut health = watchdog.enabled().then(|| watchdog.summary());
+        if flight.enabled() && (aborted.is_some() || stats.iter().any(|s| s.retired.is_some())) {
+            let reason = aborted
+                .clone()
+                .unwrap_or_else(|| "worker retirement".to_string());
+            let path = flight.dump(&reason, sink.capture(), hub);
+            if let (Some(h), Some(p)) = (health.as_mut(), path) {
+                h.postmortem = Some(p);
+            }
+        }
         let mut result = TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
@@ -505,6 +663,7 @@ impl SimEngine {
             aborted,
             measured_beta,
             staleness: hub.summary(Metric::Staleness),
+            health,
         };
         // The epoch-end loss evaluations run on the GPU (§VII-B) but must
         // not perturb the worker schedules, so they live on a dedicated
@@ -679,8 +838,14 @@ impl SimEngine {
         anchor: &mut Option<(Model, Model)>,
         scratch: &mut SimScratch,
         sink: &TraceSink,
+        watchdog: &Watchdog,
+        scan: &mut MergeScan,
     ) -> u64 {
         let train = &self.cfg.train;
+        // Injected fault: one NaN into this worker's first applied gradient
+        // at the planned step (0-based batch counter, like `death_after`).
+        let mut poison_pending =
+            self.cfg.fault_plan.poison_at(worker) == Some(stats[worker].batches);
         // §VI-B staleness compensation: discount the learning rate for
         // gradients computed on an old snapshot.
         let discount = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
@@ -763,6 +928,23 @@ impl SimEngine {
                         if let Some(c) = train.grad_clip {
                             g.clip_to_norm(c);
                         }
+                        if poison_pending {
+                            poison_pending = false;
+                            g.layers_mut()[0].b[0] = f32::NAN;
+                        }
+                        if watchdog.enabled() {
+                            scan.reset();
+                            scan_model(g, scan);
+                            for (l, ls) in scan.layers().iter().enumerate() {
+                                watchdog.observe_layer(
+                                    worker as u32,
+                                    l,
+                                    stats[worker].batches,
+                                    ls.sumsq,
+                                    ls.nonfinite,
+                                );
+                            }
+                        }
                         if train.weight_decay > 0.0 {
                             model.scale(1.0 - eta * train.weight_decay);
                         }
@@ -793,6 +975,22 @@ impl SimEngine {
                     .loss_and_gradient_into(snapshot, &lane.x, lane.labels.as_targets(), true);
                 if let Some(c) = train.grad_clip {
                     lane.ws.grad_mut().clip_to_norm(c);
+                }
+                if poison_pending {
+                    lane.ws.grad_mut().layers_mut()[0].b[0] = f32::NAN;
+                }
+                if watchdog.enabled() {
+                    scan.reset();
+                    scan_model(lane.ws.grad(), scan);
+                    for (l, ls) in scan.layers().iter().enumerate() {
+                        watchdog.observe_layer(
+                            worker as u32,
+                            l,
+                            stats[worker].batches,
+                            ls.sumsq,
+                            ls.nonfinite,
+                        );
+                    }
                 }
                 let eta = train.lr_scaling.eta(train.lr, range.len()) * discount;
                 if train.weight_decay > 0.0 {

@@ -37,10 +37,11 @@ use std::time::{Duration, Instant};
 
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
+use hetero_flight::{FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog};
 use hetero_gpu::{GpuDevice, GpuMlp};
 use hetero_metrics::{Metric, MetricsHub};
 use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
-use hetero_nn::{MlpSpec, Model, SharedModel, Workspace};
+use hetero_nn::{scan_model, MergeScan, MlpSpec, Model, SharedModel, Workspace};
 use hetero_sim::{DeviceModel, GpuModel};
 use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
@@ -213,6 +214,43 @@ impl ThreadedEngine {
         sink: &TraceSink,
         hub: &MetricsHub,
     ) -> TrainResult {
+        self.run_flight(dataset, sink, hub, &FlightRecorder::disabled())
+    }
+
+    /// [`ThreadedEngine::run_observed`] with a black-box flight recorder
+    /// attached.
+    ///
+    /// The recorder's watchdog observes per-layer gradient norms and
+    /// NaN/±Inf counts from every worker hot path (fused into the SIMD
+    /// merge/scan — no extra pass over the model) and loss health at every
+    /// eval point, enforcing its [`hetero_flight::HealthPolicy`]: warnings
+    /// are traced as health events, clamps freeze the adaptive controller
+    /// at the current batch sizes, and an abort stops the run with the
+    /// reason in [`TrainResult::aborted`]. Any abnormal end (watchdog trip,
+    /// worker retirement, all-workers-dead abort) dumps a self-contained
+    /// postmortem bundle; its path lands in the result's
+    /// [`hetero_flight::HealthSummary::postmortem`]. When the caller's
+    /// `sink` is disabled, the recorder supplies its own bounded
+    /// drop-oldest sink so a postmortem always embeds the recent-event
+    /// window. A disabled recorder reduces this to exactly
+    /// [`ThreadedEngine::run_observed`].
+    pub fn run_flight(
+        &self,
+        dataset: Arc<DenseDataset>,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+        flight: &FlightRecorder,
+    ) -> TrainResult {
+        // The retention window needs *some* sink; prefer the caller's, fall
+        // back to the recorder's bounded ring.
+        let flight_sink;
+        let sink = if flight.enabled() && !sink.enabled() {
+            flight_sink = flight.make_sink(hetero_trace::TimeDomain::Wall);
+            &flight_sink
+        } else {
+            sink
+        };
+        let watchdog = flight.watchdog();
         let cfg = &self.cfg;
         let train = cfg.train.clone();
         let algo = train.algorithm;
@@ -220,6 +258,7 @@ impl ThreadedEngine {
         assert_eq!(dataset.features(), spec.input_dim, "feature width");
 
         let init = Model::new(spec.clone(), train.init, train.seed);
+        watchdog.ensure_layers(init.layers().len());
         let shared = Arc::new(SharedModel::new(&init));
         let t0 = Instant::now();
 
@@ -232,6 +271,17 @@ impl ThreadedEngine {
             for _ in 0..cfg.gpu_workers.max(1) {
                 kinds.push(WorkerKind::Gpu);
             }
+        }
+        if flight.enabled() {
+            flight.set_provenance(Provenance {
+                engine: "threaded".into(),
+                algorithm: algo.label().to_string(),
+                dataset: dataset.name.clone(),
+                workers: kinds.len(),
+                config_json: serde_json::to_string(&train).unwrap_or_default(),
+                git_sha: hetero_flight::read_git_sha(),
+                simd_level: format!("{:?}", hetero_tensor::simd::active_level()),
+            });
         }
 
         let (ready_tx, ready_rx) = channel_traced::<WorkerMsg>(sink, "ready", COORDINATOR);
@@ -251,6 +301,7 @@ impl ThreadedEngine {
                     train.clone(),
                     sink.clone(),
                     hub.clone(),
+                    watchdog.clone(),
                 ),
                 WorkerKind::Gpu => self.spawn_gpu_worker(
                     slot,
@@ -262,6 +313,7 @@ impl ThreadedEngine {
                     train.clone(),
                     sink.clone(),
                     hub.clone(),
+                    watchdog.clone(),
                 ),
             };
             handles.push(h);
@@ -361,7 +413,11 @@ impl ThreadedEngine {
             }
             point
         };
-        curve.push(eval(&shared, &scheduler, t0));
+        let first = eval(&shared, &scheduler, t0);
+        // Seed the watchdog's divergence/stall baseline with the initial
+        // loss (the first observation never reacts).
+        watchdog.observe_eval(first.loss as f64);
+        curve.push(first);
 
         let budget = Duration::from_secs_f64(train.time_budget);
         let mut active = vec![true; kinds.len()];
@@ -429,17 +485,106 @@ impl ThreadedEngine {
             }};
         }
 
+        // Health reactions need the controller, which the `dispatch!` macro
+        // also borrows — macros keep both lexical, where a closure could
+        // not.
+        macro_rules! freeze_batches {
+            () => {{
+                for w in 0..kinds.len() {
+                    controller.clamp_max_batch(w, controller.batch(w));
+                }
+                watchdog.note_clamp();
+            }};
+        }
+        macro_rules! health_event {
+            ($action:expr, $detail:expr) => {
+                if sink.enabled() {
+                    sink.emit(
+                        COORDINATOR,
+                        EventKind::HealthEvent {
+                            action: $action.to_string(),
+                            detail: $detail,
+                        },
+                    );
+                }
+            };
+        }
+
         // Kick off every worker.
         for w in 0..kinds.len() {
             dispatch!(w);
         }
         let eval_interval = Duration::from_secs_f64(train.eval_interval);
         let mut next_eval = eval_interval;
+        let mut tripped: Option<String> = None;
 
         while active.iter().any(|&a| a) {
+            // Health policy enforcement between messages: an abort raised
+            // from any worker hot path (or a prior eval) stops the run; a
+            // clamp request freezes the adaptive controller at the current
+            // batch sizes.
+            if let Some(reason) = watchdog.tripped() {
+                health_event!("abort", reason.clone());
+                tripped = Some(format!("health watchdog: {reason}"));
+                break;
+            }
+            if watchdog.take_clamp_request() {
+                freeze_batches!();
+                health_event!(
+                    "clamp",
+                    "batch growth frozen on worker health report".to_string()
+                );
+            }
             let now = t0.elapsed();
             if now >= next_eval {
-                curve.push(eval(&shared, &scheduler, t0));
+                let point = eval(&shared, &scheduler, t0);
+                match watchdog.observe_eval(point.loss as f64) {
+                    HealthAction::Ignore => {}
+                    HealthAction::Warn => {
+                        health_event!(
+                            "warn",
+                            format!("eval health warning at loss {:.4}", point.loss)
+                        );
+                    }
+                    HealthAction::Clamp => {
+                        freeze_batches!();
+                        health_event!(
+                            "clamp",
+                            format!("batch growth frozen at loss {:.4}", point.loss)
+                        );
+                    }
+                    // The trip flag is already set; the loop-top check
+                    // turns it into the abort.
+                    HealthAction::Abort => {}
+                }
+                if flight.enabled() {
+                    let stale = hub.summary(Metric::Staleness);
+                    let h = watchdog.summary();
+                    flight.record_snapshot(HealthSnapshot {
+                        t: point.time,
+                        loss: point.loss as f64,
+                        epochs: point.epochs,
+                        batches: (0..kinds.len()).map(|w| controller.batch(w)).collect(),
+                        beta: if train.measured_beta {
+                            shared.beta_estimate()
+                        } else {
+                            None
+                        },
+                        staleness_p50: stale.as_ref().map(|s| s.p50),
+                        staleness_p99: stale.as_ref().map(|s| s.p99),
+                        grad_peak_norm: h.peak_grad_norm,
+                    });
+                    // Per-layer gradient-norm gauges for the dashboard /
+                    // OpenMetrics endpoint.
+                    if sink.enabled() {
+                        for (l, n) in h.layer_peak_norms.iter().enumerate() {
+                            sink.gauge(&format!("health.layer.{l}.grad_norm")).set(*n);
+                        }
+                        sink.gauge("health.nonfinite")
+                            .set(h.nonfinite_events as f64);
+                    }
+                }
+                curve.push(point);
                 // Advance past `now` in whole intervals: a stall longer
                 // than one interval must not leave `next_eval` behind the
                 // wall clock (which would starve batch dispatch with
@@ -523,11 +668,12 @@ impl ThreadedEngine {
                 sup!().retire(worker, &error, sink);
             }
         }
-        let aborted = if stats.iter().all(|s| s.retired.is_some()) {
-            Some("all workers retired by faults".to_string())
-        } else {
-            None
-        };
+        let aborted = tripped.or_else(|| {
+            stats
+                .iter()
+                .all(|s| s.retired.is_some())
+                .then(|| "all workers retired by faults".to_string())
+        });
 
         curve.push(eval(&shared, &scheduler, t0));
 
@@ -547,6 +693,20 @@ impl ThreadedEngine {
         } else {
             None
         };
+        // Black-box dump on any abnormal end: watchdog trip, a retired
+        // worker, or the all-dead abort. `capture` copies the retained
+        // window without draining, so the caller's own `drain` still sees
+        // the full trace.
+        let mut health = watchdog.enabled().then(|| watchdog.summary());
+        if flight.enabled() && (aborted.is_some() || stats.iter().any(|s| s.retired.is_some())) {
+            let reason = aborted
+                .clone()
+                .unwrap_or_else(|| "worker retirement".to_string());
+            let path = flight.dump(&reason, sink.capture(), hub);
+            if let (Some(h), Some(p)) = (health.as_mut(), path) {
+                h.postmortem = Some(p);
+            }
+        }
         TrainResult {
             algorithm: algo.label().to_string(),
             dataset: dataset.name.clone(),
@@ -559,6 +719,7 @@ impl ThreadedEngine {
             aborted,
             measured_beta,
             staleness: hub.summary(Metric::Staleness),
+            health,
         }
     }
 
@@ -574,6 +735,7 @@ impl ThreadedEngine {
         train: TrainConfig,
         sink: TraceSink,
         hub: MetricsHub,
+        watchdog: Watchdog,
     ) -> std::thread::JoinHandle<()> {
         let threads = self.cfg.cpu_threads;
         let plan = self.cfg.fault_plan.clone();
@@ -595,15 +757,25 @@ impl ThreadedEngine {
                         ws: Workspace,
                         x: Matrix,
                         labels: Labels,
+                        /// Watchdog scratch: per-layer sumsq / non-finite
+                        /// counts of the lane's own gradient, reused every
+                        /// batch (lane-local, so no synchronization).
+                        scan: MergeScan,
                     }
                     let mut lanes: Vec<Lane> = (0..threads)
-                        .map(|_| Lane {
-                            local: shared.snapshot(),
-                            ws: Workspace::new(shared.spec()),
-                            x: Matrix::zeros(0, 0),
-                            labels: Labels::Classes(Vec::new()),
+                        .map(|_| {
+                            let local = shared.snapshot();
+                            let scan = MergeScan::for_model(&local);
+                            Lane {
+                                local,
+                                ws: Workspace::new(shared.spec()),
+                                x: Matrix::zeros(0, 0),
+                                labels: Labels::Classes(Vec::new()),
+                                scan,
+                            }
                         })
                         .collect();
+                    let poison_step = plan.poison_at(slot);
                     // Histogram handles resolved once; recording is a few
                     // relaxed atomic adds, so the zero-alloc steady state
                     // of the lanes is preserved.
@@ -660,6 +832,26 @@ impl ThreadedEngine {
                                     );
                                     if let Some(c) = train.grad_clip {
                                         lane.ws.grad_mut().clip_to_norm(c);
+                                    }
+                                    // Injected fault: one NaN into this
+                                    // worker's gradient at the planned step
+                                    // (lane 0 only — one poisoned update is
+                                    // enough, and it keeps the site exact).
+                                    if i == 0 && poison_step == Some(batches_done) {
+                                        lane.ws.grad_mut().layers_mut()[0].b[0] = f32::NAN;
+                                    }
+                                    if watchdog.enabled() {
+                                        lane.scan.reset();
+                                        scan_model(lane.ws.grad(), &mut lane.scan);
+                                        for (l, ls) in lane.scan.layers().iter().enumerate() {
+                                            watchdog.observe_layer(
+                                                slot as u32,
+                                                l,
+                                                batches_done,
+                                                ls.sumsq,
+                                                ls.nonfinite,
+                                            );
+                                        }
                                     }
                                     let eta = train.lr_scaling.eta(train.lr, e - s);
                                     if train.measured_beta {
@@ -731,6 +923,7 @@ impl ThreadedEngine {
         train: TrainConfig,
         sink: TraceSink,
         hub: MetricsHub,
+        watchdog: Watchdog,
     ) -> std::thread::JoinHandle<()> {
         let perf = self.cfg.gpu_perf.clone();
         let plan = self.cfg.fault_plan.clone();
@@ -766,6 +959,11 @@ impl ThreadedEngine {
                     let mut replica = Model::zeros_like(shared.spec());
                     let mut x = Matrix::zeros(0, 0);
                     let mut labels = Labels::Classes(Vec::new());
+                    // Watchdog scratch: per-layer sumsq / non-finite counts
+                    // of the merged delta, filled *inside* the merge's
+                    // element loop (no extra pass over the model).
+                    let mut merge_scan = MergeScan::for_model(&snapshot);
+                    let poison_step = plan.poison_at(slot);
                     // An OOM here is unrecoverable — there is no batch to
                     // shrink when the parameters themselves don't fit.
                     let mut mlp = GpuMlp::upload(&device, &snapshot)
@@ -825,9 +1023,35 @@ impl ThreadedEngine {
                         let scale = 1.0 / (1.0 + train.staleness_discount * staleness as f32);
                         stale_hist.record(staleness);
                         mlp.download_into(&mut replica);
+                        // Injected fault: one NaN into this worker's delta
+                        // at the planned step (the merge carries it into
+                        // the shared model — detection is the watchdog's
+                        // job, not the merge's).
+                        if poison_step == Some(batches_done) {
+                            replica.layers_mut()[0].b[0] = f32::NAN;
+                        }
                         let merge_start = Instant::now();
-                        let retries =
-                            shared.merge_delta_scaled_observed(&snapshot, &replica, scale);
+                        let retries = if watchdog.enabled() {
+                            merge_scan.reset();
+                            let r = shared.merge_delta_scaled_scanned(
+                                &snapshot,
+                                &replica,
+                                scale,
+                                &mut merge_scan,
+                            );
+                            for (l, ls) in merge_scan.layers().iter().enumerate() {
+                                watchdog.observe_layer(
+                                    slot as u32,
+                                    l,
+                                    batches_done,
+                                    ls.sumsq,
+                                    ls.nonfinite,
+                                );
+                            }
+                            r
+                        } else {
+                            shared.merge_delta_scaled_observed(&snapshot, &replica, scale)
+                        };
                         merge_hist.record_secs(merge_start.elapsed().as_secs_f64());
                         retries_hist.record(retries);
                         let busy_end = t0.elapsed().as_secs_f64();

@@ -22,6 +22,10 @@ pub enum FaultKind {
     /// The worker's device rejects the very first model upload — exercises
     /// the unrecoverable-OOM retirement path. Threaded engine only.
     OomOnUpload,
+    /// The worker's `k`th completed batch (0-based) produces a gradient /
+    /// replica delta poisoned with NaN — exercises the training-health
+    /// watchdog's non-finite detection and abort-with-postmortem path.
+    PoisonGradientAt(u64),
 }
 
 /// One scheduled fault: which worker, and what happens to it.
@@ -77,6 +81,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule worker `w`'s `step`th batch (0-based) to produce a
+    /// NaN-poisoned gradient.
+    pub fn poison_gradient_at(mut self, w: usize, step: u64) -> Self {
+        self.faults.push(WorkerFault {
+            worker: w,
+            kind: FaultKind::PoisonGradientAt(step),
+        });
+        self
+    }
+
     /// Whether the plan schedules any fault at all.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -103,6 +117,15 @@ impl FaultPlan {
         self.faults
             .iter()
             .any(|f| f.worker == w && f.kind == FaultKind::OomOnUpload)
+    }
+
+    /// Batch index at which worker `w`'s gradient is scheduled to be
+    /// NaN-poisoned, if any.
+    pub fn poison_at(&self, w: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::PoisonGradientAt(k) if f.worker == w => Some(k),
+            _ => None,
+        })
     }
 }
 
@@ -172,13 +195,16 @@ mod tests {
         let plan = FaultPlan::none()
             .die_after(1, 5)
             .oom_on_alloc(2, 7)
-            .oom_on_upload(3);
+            .oom_on_upload(3)
+            .poison_gradient_at(4, 2);
         assert!(!plan.is_empty());
         assert_eq!(plan.death_after(1), Some(5));
         assert_eq!(plan.death_after(2), None);
         assert_eq!(plan.oom_alloc_index(2), Some(7));
         assert!(plan.upload_oom(3));
         assert!(!plan.upload_oom(2));
+        assert_eq!(plan.poison_at(4), Some(2));
+        assert_eq!(plan.poison_at(1), None);
     }
 
     #[test]

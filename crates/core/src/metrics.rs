@@ -149,6 +149,11 @@ pub struct TrainResult {
     /// applied between an update's read and its merge). `None` when the
     /// run had no metrics hub attached.
     pub staleness: Option<Summary>,
+    /// Training-health record from the `hetero-flight` watchdog: NaN/Inf
+    /// events, peak per-layer gradient norms, divergence/stall flags, and
+    /// the postmortem bundle path when one was dumped. `None` when the run
+    /// had no flight recorder attached.
+    pub health: Option<hetero_flight::HealthSummary>,
 }
 
 impl TrainResult {
@@ -288,6 +293,7 @@ mod tests {
             aborted: None,
             measured_beta: None,
             staleness: None,
+            health: None,
         }
     }
 
@@ -343,6 +349,7 @@ mod tests {
             aborted: None,
             measured_beta: None,
             staleness: None,
+            health: None,
         };
         assert_eq!(r.min_loss(), f32::INFINITY);
         assert_eq!(r.cpu_update_fraction(), 0.0);

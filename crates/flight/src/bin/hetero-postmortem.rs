@@ -1,0 +1,60 @@
+//! `hetero-postmortem` — render a flight-recorder bundle.
+//!
+//! ```text
+//! hetero-postmortem <bundle.json>                  # human-readable report
+//! hetero-postmortem <bundle.json> --trace out.json # + Perfetto-loadable trace
+//! ```
+//!
+//! Exit codes: 0 on success, 2 on usage error, 1 on a malformed bundle or
+//! I/O failure.
+
+use hetero_flight::{render_report, PostmortemBundle};
+
+fn usage() -> ! {
+    eprintln!("usage: hetero-postmortem <bundle.json> [--trace <out.json>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bundle_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if bundle_path.is_none() => bundle_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(bundle_path) = bundle_path else {
+        usage()
+    };
+
+    let text = match std::fs::read_to_string(&bundle_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hetero-postmortem: cannot read {bundle_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bundle = match PostmortemBundle::from_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hetero-postmortem: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render_report(&bundle));
+    if let Some(out) = trace_out {
+        if let Err(e) = hetero_trace::export::write_chrome(&bundle.trace, &out) {
+            eprintln!("hetero-postmortem: cannot write trace {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote Perfetto trace: {out}");
+    }
+}

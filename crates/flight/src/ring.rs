@@ -1,0 +1,119 @@
+//! Bounded drop-oldest retention ring for periodic snapshots.
+
+/// A fixed-capacity ring that keeps the **newest** `capacity` items:
+/// pushing onto a full ring evicts the oldest entry. Allocation happens
+/// once at construction; `push` never reallocates.
+#[derive(Debug, Clone)]
+pub struct RetentionRing<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> RetentionRing<T> {
+    /// A ring retaining at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RetentionRing {
+            buf: (0..cap).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum retained items.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append `item`, evicting the oldest entry if full.
+    pub fn push(&mut self, item: T) {
+        let cap = self.buf.len();
+        if self.len < cap {
+            let idx = (self.head + self.len) % cap;
+            self.buf[idx] = Some(item);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = Some(item);
+            self.head = (self.head + 1) % cap;
+        }
+    }
+
+    /// Iterate retained items oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.buf.len();
+        (0..self.len).map(move |i| {
+            self.buf[(self.head + i) % cap]
+                .as_ref()
+                .expect("retained slot is occupied")
+        })
+    }
+}
+
+impl<T: Clone> RetentionRing<T> {
+    /// Retained items oldest → newest as a `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = RetentionRing::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![1, 2]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_only_the_oldest() {
+        let mut r = RetentionRing::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![7, 8, 9]);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = RetentionRing::new(0);
+        r.push(5);
+        r.push(6);
+        assert_eq!(r.to_vec(), vec![6]);
+    }
+
+    proptest! {
+        // The flight-recorder invariant: whatever the push sequence, the
+        // ring retains exactly the newest min(len, capacity) items, in
+        // order — it never drops the newest events.
+        #[test]
+        fn retention_never_drops_newest(cap in 1usize..32, items in prop::collection::vec(0u32..1000, 0..100)) {
+            let mut r = RetentionRing::new(cap);
+            for &v in &items {
+                r.push(v);
+            }
+            let keep = items.len().min(cap);
+            let expected: Vec<u32> = items[items.len() - keep..].to_vec();
+            prop_assert_eq!(r.to_vec(), expected);
+            prop_assert!(r.len() <= r.capacity());
+        }
+    }
+}

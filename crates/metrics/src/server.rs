@@ -97,9 +97,40 @@ fn serve(listener: TcpListener, shutdown: Arc<AtomicBool>, render: RenderFn) {
             body.len(),
             body
         );
-        let _ = stream.write_all(response.as_bytes());
+        let _ = write_fully(&mut stream, response.as_bytes());
         let _ = stream.flush();
     }
+}
+
+/// Write the whole buffer, retrying short and interrupted writes.
+///
+/// `Write::write_all` gives up on the first `WouldBlock`/`TimedOut`, which
+/// a socket carrying a large exposition can hit mid-body once the kernel
+/// buffer fills faster than a slow scraper drains it. Retry those (bounded,
+/// so a dead peer cannot wedge the serving thread) and keep going from
+/// wherever the short write stopped.
+fn write_fully(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    use std::io::ErrorKind;
+    let mut stalls = 0u32;
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(std::io::Error::new(ErrorKind::WriteZero, "peer closed")),
+            Ok(n) => {
+                buf = &buf[n..];
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && stalls < 20 =>
+            {
+                stalls += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -141,5 +172,26 @@ mod tests {
                     })
                     .unwrap_or(true)
         );
+    }
+
+    #[test]
+    fn serves_multi_megabyte_body_intact() {
+        // A body far larger than any kernel socket buffer, so the serving
+        // thread is forced through short writes that `write_fully` must
+        // stitch back together.
+        let line = "hetero_big{series=\"0123456789abcdef\"} 1\n";
+        let big = line.repeat(120_000);
+        let expected_len = big.len() + "# EOF\n".len();
+        assert!(expected_len > 4 << 20);
+        let server =
+            ScrapeServer::bind("127.0.0.1:0", Arc::new(move || format!("{big}# EOF\n"))).unwrap();
+        let response = scrape(server.local_addr());
+        let body = response
+            .split("\r\n\r\n")
+            .nth(1)
+            .expect("header/body split");
+        assert_eq!(body.len(), expected_len, "body truncated by a short write");
+        assert!(body.ends_with("# EOF\n"));
+        assert!(response.contains(&format!("Content-Length: {expected_len}")));
     }
 }

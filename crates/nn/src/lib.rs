@@ -29,6 +29,7 @@ pub mod forward;
 pub mod init;
 pub mod model;
 pub mod optim;
+pub mod scan;
 pub mod shared;
 pub mod sparse_input;
 pub mod spec;
@@ -41,6 +42,7 @@ pub use forward::{accuracy, forward, loss, predict_probs, ForwardPass, Targets};
 pub use init::InitScheme;
 pub use model::Model;
 pub use optim::{Optimizer, OptimizerKind};
+pub use scan::{scan_model, LayerScan, MergeScan};
 pub use shared::SharedModel;
 pub use sparse_input::{forward_sparse, loss_and_gradient_sparse};
 pub use spec::{LossKind, MlpSpec};

@@ -282,34 +282,74 @@ impl SharedModel {
     /// merge contention with concurrent Hogwild writers (0 on an
     /// uncontended merge). Feeds the `MergeRetries` histogram.
     pub fn merge_delta_scaled_observed(&self, base: &Model, replica: &Model, scale: f32) -> u64 {
+        // Monomorphized no-op observer: identical codegen to the original
+        // unscanned merge.
+        self.merge_core(base, replica, scale, |_, _| {})
+    }
+
+    /// [`merge_delta_scaled_observed`](Self::merge_delta_scaled_observed)
+    /// with the training-health scan fused into the merge loop: each
+    /// scaled delta is accumulated (sum of squares of the finite part plus
+    /// a NaN/±Inf count) into the caller-owned per-layer `scan` as it is
+    /// CAS-applied — zero extra passes over the parameters and zero
+    /// allocations. A non-finite delta is still merged (the poisoned run
+    /// is the watchdog's problem to abort, not the merge's to mask).
+    pub fn merge_delta_scaled_scanned(
+        &self,
+        base: &Model,
+        replica: &Model,
+        scale: f32,
+        scan: &mut crate::scan::MergeScan,
+    ) -> u64 {
+        self.merge_core(base, replica, scale, |layer, delta| {
+            let slot = scan.layer_mut(layer);
+            if delta.is_finite() {
+                slot.sumsq += delta as f64 * delta as f64;
+            } else {
+                slot.nonfinite += 1;
+            }
+        })
+    }
+
+    /// Shared merge body: CAS-applies `scale·(replica − base)` and calls
+    /// `obs(layer, delta)` for every element (including zero deltas, which
+    /// are observed but not CAS-applied).
+    fn merge_core(
+        &self,
+        base: &Model,
+        replica: &Model,
+        scale: f32,
+        mut obs: impl FnMut(usize, f32),
+    ) -> u64 {
         assert_eq!(base.spec(), &self.spec, "base spec mismatch");
         assert_eq!(replica.spec(), &self.spec, "replica spec mismatch");
         assert!(scale.is_finite() && scale >= 0.0, "bad merge scale");
         let mut idx = 0;
         let mut retries = 0u64;
-        let mut merge = |bv: f32, rv: f32| {
-            let p = &self.params[idx];
-            idx += 1;
-            let delta = scale * (rv - bv);
-            if delta == 0.0 {
-                return;
-            }
-            // Relaxed CAS loop: same argument as `apply_gradient_atomic` —
-            // the add must not be lost, but needs no ordering. Failed
-            // exchanges are tallied as contention observations.
-            let mut cur = p.load(Ordering::Relaxed);
-            loop {
-                let next = (f32::from_bits(cur) + delta).to_bits();
-                match p.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-                    Ok(_) => break,
-                    Err(actual) => {
-                        retries += 1;
-                        cur = actual;
+        for (layer, (bl, rl)) in base.layers().iter().zip(replica.layers()).enumerate() {
+            let mut merge = |bv: f32, rv: f32| {
+                let p = &self.params[idx];
+                idx += 1;
+                let delta = scale * (rv - bv);
+                obs(layer, delta);
+                if delta == 0.0 {
+                    return;
+                }
+                // Relaxed CAS loop: same argument as `apply_gradient_atomic`
+                // — the add must not be lost, but needs no ordering. Failed
+                // exchanges are tallied as contention observations.
+                let mut cur = p.load(Ordering::Relaxed);
+                loop {
+                    let next = (f32::from_bits(cur) + delta).to_bits();
+                    match p.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => break,
+                        Err(actual) => {
+                            retries += 1;
+                            cur = actual;
+                        }
                     }
                 }
-            }
-        };
-        for (bl, rl) in base.layers().iter().zip(replica.layers()) {
+            };
             for (bv, rv) in bl.w.as_slice().iter().zip(rl.w.as_slice()) {
                 merge(*bv, *rv);
             }

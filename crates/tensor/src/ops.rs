@@ -321,6 +321,31 @@ pub fn mean(m: &Matrix) -> f32 {
     }
 }
 
+/// Health-scan reduction: `(Σ x² over finite elements, NaN/±Inf count)`.
+///
+/// The sum uses f64 accumulators; the AVX2 path accumulates lane-parallel,
+/// so the two dispatch paths agree to f64 rounding rather than bit-exactly.
+/// Non-finite elements are excluded from the sum (and counted instead) so a
+/// single poisoned value cannot collapse the whole norm to NaN. Read-only:
+/// never perturbs the scanned buffer.
+pub fn sumsq_nonfinite(x: &[f32]) -> (f64, u64) {
+    let mut sumsq = 0.0f64;
+    let mut nonfinite = 0u64;
+    match simd::active_level() {
+        SimdLevel::Avx2 => simd::sumsq_nonfinite(x, &mut sumsq, &mut nonfinite),
+        SimdLevel::Scalar => {
+            for &v in x {
+                if v.is_finite() {
+                    sumsq += v as f64 * v as f64;
+                } else {
+                    nonfinite += 1;
+                }
+            }
+        }
+    }
+    (sumsq, nonfinite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,5 +560,29 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+    #[test]
+    fn sumsq_nonfinite_counts_and_sums() {
+        use crate::simd::{with_level, SimdLevel};
+        // 19 elements: vector body (16) + scalar tail (3), with poisoned
+        // lanes in both regions.
+        let mut x: Vec<f32> = (0..19).map(|i| (i as f32 - 9.0) / 4.0).collect();
+        x[3] = f32::NAN;
+        x[8] = f32::INFINITY;
+        x[17] = f32::NEG_INFINITY;
+        let expect_sum: f64 = x
+            .iter()
+            .filter(|v| v.is_finite())
+            .map(|&v| v as f64 * v as f64)
+            .sum();
+        for lvl in [SimdLevel::Scalar, SimdLevel::Avx2] {
+            let (s, bad) = with_level(lvl, || sumsq_nonfinite(&x));
+            assert_eq!(bad, 3, "{lvl:?}");
+            assert!(
+                (s - expect_sum).abs() < 1e-9,
+                "{lvl:?}: {s} vs {expect_sum}"
+            );
+        }
+        assert_eq!(sumsq_nonfinite(&[]), (0.0, 0));
     }
 }

@@ -264,6 +264,14 @@ avx2_entry!(
     /// `delta` zeroed wherever `a ≤ 0` — ReLU derivative.
     mul_relu_deriv(out: &[f32], delta: &mut [f32])
 );
+avx2_entry!(
+    /// Health-scan reduction: adds `Σ x²` (finite lanes only, f64
+    /// accumulators, lane-parallel order — *not* bit-identical to the
+    /// sequential scalar sum) into `sumsq` and the number of NaN/±Inf
+    /// lanes into `nonfinite`. Read-only over `x`: safe to run on racy
+    /// shared buffers without perturbing training math.
+    sumsq_nonfinite(x: &[f32], sumsq: &mut f64, nonfinite: &mut u64)
+);
 
 #[cfg(target_arch = "x86_64")]
 mod imp {
@@ -1075,6 +1083,44 @@ mod imp {
                 delta[p] = 0.0;
             }
         }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) fn sumsq_nonfinite(x: &[f32], sumsq: &mut f64, nonfinite: &mut u64) {
+        let n = x.len();
+        let n8 = n & !7;
+        // A float is non-finite iff its exponent field is all ones.
+        let exp_mask = _mm256_set1_epi32(0x7f80_0000_u32 as i32);
+        let mut acc_lo = _mm256_setzero_pd();
+        let mut acc_hi = _mm256_setzero_pd();
+        let mut bad = 0u64;
+        let mut p = 0;
+        while p < n8 {
+            let v = load8(x, p);
+            let exp = _mm256_and_si256(_mm256_castps_si256(v), exp_mask);
+            let is_bad = _mm256_castsi256_ps(_mm256_cmpeq_epi32(exp, exp_mask));
+            bad += _mm256_movemask_ps(is_bad).count_ones() as u64;
+            // Zero the non-finite lanes so the norm reflects the finite part
+            // (and never collapses to NaN when a single lane is poisoned).
+            let v = _mm256_andnot_ps(is_bad, v);
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+            acc_lo = _mm256_fmadd_pd(lo, lo, acc_lo);
+            acc_hi = _mm256_fmadd_pd(hi, hi, acc_hi);
+            p += 8;
+        }
+        let acc = _mm256_add_pd(acc_lo, acc_hi);
+        let q = _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+        let mut total = _mm_cvtsd_f64(_mm_add_sd(q, _mm_unpackhi_pd(q, q)));
+        for &v in &x[n8..] {
+            if v.is_finite() {
+                total += v as f64 * v as f64;
+            } else {
+                bad += 1;
+            }
+        }
+        *sumsq += total;
+        *nonfinite += bad;
     }
 }
 

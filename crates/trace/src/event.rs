@@ -105,6 +105,14 @@ pub enum EventKind {
         /// Examples in the re-queued range.
         batch: usize,
     },
+    /// The training-health watchdog reacted to a condition (non-finite
+    /// gradient, loss divergence, or stall).
+    HealthEvent {
+        /// Action taken: `"warn"`, `"clamp"`, or `"abort"`.
+        action: String,
+        /// What tripped and where.
+        detail: String,
+    },
 }
 
 impl EventKind {
@@ -116,6 +124,7 @@ impl EventKind {
             | EventKind::BatchResized { .. }
             | EventKind::BatchRequeued { .. } => "batch",
             EventKind::WorkerFault { .. } | EventKind::WorkerRetired { .. } => "fault",
+            EventKind::HealthEvent { .. } => "health",
             EventKind::QueuePushed { .. } | EventKind::QueuePopped { .. } => "queue",
             EventKind::H2d { .. } | EventKind::D2h { .. } => "transfer",
             EventKind::KernelLaunched { .. } => "kernel",

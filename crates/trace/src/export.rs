@@ -262,6 +262,17 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     vec![("batch", Value::U64(*batch as u64))],
                 ));
             }
+            EventKind::HealthEvent { action, detail } => {
+                events.push(instant(
+                    "health",
+                    "health",
+                    event,
+                    vec![
+                        ("action", Value::Str(action.clone())),
+                        ("detail", Value::Str(detail.clone())),
+                    ],
+                ));
+            }
         }
     }
 

@@ -48,6 +48,12 @@ impl EventRing {
         self.buf.drain(..).collect()
     }
 
+    /// Copy all buffered events, preserving push order, without removing
+    /// them (a postmortem snapshot must not steal the caller's trace).
+    pub fn peek(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
     /// Events currently buffered.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -311,6 +311,37 @@ impl TraceSink {
             counters: inner.registry.snapshot(),
         }
     }
+
+    /// Copy every buffered event out of every thread's ring *without*
+    /// removing anything — the flight recorder uses this to embed the
+    /// retained window in a postmortem bundle while the run's owner still
+    /// gets the full trace from its own [`TraceSink::drain`] later.
+    pub fn capture(&self) -> Trace {
+        let Some(inner) = &self.inner else {
+            return Trace {
+                domain: TimeDomain::Wall,
+                shards: Vec::new(),
+                counters: Vec::new(),
+            };
+        };
+        let shards = inner.shards.lock();
+        let dumps = shards
+            .iter()
+            .map(|shard| {
+                let ring = shard.ring.lock();
+                ShardDump {
+                    label: shard.label.clone(),
+                    events: ring.peek(),
+                    dropped: ring.dropped(),
+                }
+            })
+            .collect();
+        Trace {
+            domain: inner.domain,
+            shards: dumps,
+            counters: inner.registry.snapshot(),
+        }
+    }
 }
 
 #[cfg(test)]

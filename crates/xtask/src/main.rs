@@ -31,6 +31,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+mod bench_diff;
+
 /// Files (workspace-relative, `/`-separated) whose *paths* are allowed to
 /// contain atomic `Ordering::` uses. Everything else must use higher-level
 /// primitives from these modules.
@@ -43,6 +45,7 @@ const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/tensor/src/simd.rs",       // write-once dispatch memo (relaxed-only)
     "crates/bench/src/alloc_count.rs", // counting allocator (relaxed-only)
     "crates/metrics/src/",             // histogram tallies + scrape shutdown flag (relaxed-only)
+    "crates/flight/src/",              // health watchdog counters/peaks (relaxed-only)
 ];
 
 /// The places allowed to start OS threads: the worker supervision layer,
@@ -87,8 +90,11 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("lint") if args.iter().any(|a| a == "--self-check") => self_check(),
         Some("lint") => run_lint(),
+        Some("bench-diff") => {
+            std::process::exit(bench_diff::run(&args[1..], &workspace_root()));
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--self-check]");
+            eprintln!("usage: cargo xtask <lint [--self-check] | bench-diff ...>");
             std::process::exit(2);
         }
     }

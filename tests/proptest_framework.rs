@@ -101,6 +101,7 @@ proptest! {
             aborted: None,
             measured_beta: None,
             staleness: None,
+            health: None,
         };
         let n = r.normalized_curve(basis);
         prop_assert!((n[0].loss - 3.0).abs() < 1e-3);
