@@ -149,6 +149,8 @@ impl Harness {
             measured_beta: false,
             eval_interval: self.budget / 24.0,
             eval_subsample: 2048,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed: self.seed,
         }
     }

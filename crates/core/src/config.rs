@@ -240,6 +240,16 @@ pub struct TrainConfig {
     pub eval_interval: f64,
     /// Max examples used per loss evaluation (subsampled for speed).
     pub eval_subsample: usize,
+    /// Seconds between crash-consistency checkpoints when a checkpointer
+    /// is attached via the engines' `run_ckpt` entry points (virtual
+    /// seconds in the simulation/PS engines, wall seconds in the threaded
+    /// engine). `None` disables periodic checkpointing even when a
+    /// checkpoint directory is configured.
+    pub ckpt_interval: Option<f64>,
+    /// How many checkpoint generations to keep on disk. Older generations
+    /// are pruned after each successful write; at least one previous
+    /// generation survives so a torn final write can fall back.
+    pub ckpt_retain: usize,
     /// RNG seed for model init and shuffling.
     pub seed: u64,
 }
@@ -266,6 +276,8 @@ impl Default for TrainConfig {
             measured_beta: false,
             eval_interval: 0.05,
             eval_subsample: 2048,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed: 42,
         }
     }
@@ -296,6 +308,14 @@ impl TrainConfig {
         }
         if self.weight_decay < 0.0 || !self.weight_decay.is_finite() {
             return Err("weight decay must be finite and non-negative".into());
+        }
+        if let Some(i) = self.ckpt_interval {
+            if i <= 0.0 || !i.is_finite() {
+                return Err("checkpoint interval must be positive and finite".into());
+            }
+        }
+        if self.ckpt_retain == 0 {
+            return Err("checkpoint retention must keep at least one generation".into());
         }
         self.adaptive.validate()
     }
@@ -372,6 +392,21 @@ mod tests {
             ..TrainConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = TrainConfig {
+            ckpt_interval: Some(0.0),
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TrainConfig {
+            ckpt_retain: 0,
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TrainConfig {
+            ckpt_interval: Some(0.5),
+            ..TrainConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! `CpuGpuHogbatch`/`AdaptiveHogbatch` reproduces the paper's argument for
 //! the centralized design.
 
+use hetero_ckpt::Checkpointer;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
-use hetero_flight::{FlightRecorder, Provenance};
+use hetero_flight::{FlightRecorder, Provenance, WatchdogState};
 use hetero_metrics::MetricsHub;
 use hetero_nn::{scan_model, MergeScan, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel};
@@ -119,6 +120,44 @@ struct Pending {
     range: (usize, usize),
 }
 
+/// One in-flight gradient at its arrival time, as frozen in a checkpoint.
+#[derive(Serialize, Deserialize)]
+struct PsPendingCkpt {
+    at: f64,
+    worker: usize,
+    snapshot: Model,
+    range: (usize, usize),
+}
+
+/// Per-worker counters a resumed run continues from (the lr compensation
+/// is computed from `updates`, so restoring them exactly preserves the
+/// learning-rate trajectory).
+#[derive(Serialize, Deserialize)]
+struct PsWorkerCkpt {
+    updates: f64,
+    batches: u64,
+    examples: u64,
+}
+
+/// Full state of a [`PsEngine`] run at one virtual instant. The engine is
+/// serial on a deterministic clock, so — like the simulation engine — a
+/// restored run continues bit-identically.
+#[derive(Serialize, Deserialize)]
+struct PsCkptState {
+    schema: String,
+    t: f64,
+    model: Model,
+    shard_schedulers: Vec<BatchScheduler>,
+    curve: Vec<LossPoint>,
+    last_eval: f64,
+    workers: Vec<PsWorkerCkpt>,
+    pending: Vec<PsPendingCkpt>,
+    watchdog: WatchdogState,
+}
+
+/// Schema tag rejecting checkpoints from other engines or layouts.
+const PS_CKPT_SCHEMA: &str = "hetero-ps-ckpt/v1";
+
 impl PsEngine {
     /// Build the engine.
     pub fn new(cfg: PsEngineConfig) -> Result<Self, String> {
@@ -148,6 +187,24 @@ impl PsEngine {
     /// abort stops the run with a postmortem bundle. A disabled recorder
     /// reduces this to exactly [`PsEngine::run`].
     pub fn run_flight(&self, dataset: &DenseDataset, flight: &FlightRecorder) -> TrainResult {
+        self.run_ckpt(dataset, flight, &Checkpointer::disabled())
+    }
+
+    /// [`PsEngine::run_flight`] with crash-consistent checkpointing.
+    ///
+    /// Between virtual events the coordinator state plus the queue's
+    /// pending set is the complete run state; when a checkpoint is due the
+    /// engine freezes both through `hetero-ckpt`'s atomic-publish path. The
+    /// engine is serial on a deterministic clock, so a checkpointer with
+    /// `resume: true` continues the loss curve **bit-identically** — the
+    /// same property the simulation engine has. A disabled checkpointer
+    /// reduces this to exactly [`PsEngine::run_flight`].
+    pub fn run_ckpt(
+        &self,
+        dataset: &DenseDataset,
+        flight: &FlightRecorder,
+        ckpt: &Checkpointer,
+    ) -> TrainResult {
         let watchdog = flight.watchdog();
         // This engine takes no caller sink; the recorder's bounded ring
         // retains the eval/health event window for postmortems.
@@ -218,9 +275,47 @@ impl PsEngine {
             }
             loss
         };
-        // The initial loss seeds the watchdog's divergence/stall baseline.
-        let l0 = eval(&model, 0.0, 0.0, &mut curve);
-        watchdog.observe_eval(l0 as f64);
+        let mut last_eval = 0.0f64;
+
+        // --- Resume from the newest valid checkpoint ----------------------------
+        // Replaces the freshly initialized state wholesale. The worker-count
+        // guard rejects a checkpoint from a differently shaped run (the
+        // schema tag already rejects other engines' checkpoints).
+        let resume: Option<PsCkptState> = ckpt
+            .resume_state::<PsCkptState>()
+            .filter(|s| s.schema == PS_CKPT_SCHEMA && s.workers.len() == w);
+        let resumed = resume.is_some();
+        if let Some(s) = resume {
+            model = s.model;
+            shard_schedulers = s.shard_schedulers;
+            curve = s.curve;
+            last_eval = s.last_eval;
+            for (stat, wc) in stats.iter_mut().zip(&s.workers) {
+                stat.updates = wc.updates;
+                stat.batches = wc.batches;
+                stat.examples = wc.examples;
+            }
+            watchdog.restore_state(&s.watchdog);
+            // Re-schedule the in-flight gradients in pop order: fresh
+            // monotone sequence numbers preserve the original tie-breaking,
+            // so the continuation is bit-identical to the uninterrupted run.
+            for p in s.pending {
+                queue.schedule_at(
+                    p.at,
+                    Pending {
+                        worker: p.worker,
+                        snapshot: p.snapshot,
+                        range: p.range,
+                    },
+                );
+            }
+            ckpt.resume_mark(s.t);
+            sink.counter("ckpt.resumes").add(1);
+        } else {
+            // The initial loss seeds the watchdog's divergence/stall baseline.
+            let l0 = eval(&model, 0.0, 0.0, &mut curve);
+            watchdog.observe_eval(l0 as f64);
+        }
 
         // Reused per-completion buffers: the server processes one gradient
         // at a time, so one workspace serves every worker's batches.
@@ -264,16 +359,66 @@ impl PsEngine {
                 },
             );
         };
-        for i in 0..w {
-            assign(i, &model, &mut queue, &mut shard_schedulers, &mut stats);
+        // A resumed run's workers are already in flight (their completion
+        // events came back with the checkpoint): kickoff is fresh starts only.
+        if !resumed {
+            for i in 0..w {
+                assign(i, &model, &mut queue, &mut shard_schedulers, &mut stats);
+            }
         }
 
-        let mut last_eval = 0.0f64;
         let total_served = |ss: &[BatchScheduler]| -> f64 {
             ss.iter().map(|s| s.examples_served() as f64).sum::<f64>() / n as f64
         };
 
-        while let Some((t, p)) = queue.pop() {
+        // Checkpoint observability (no-ops when the recorder is disabled;
+        // this engine has no MetricsHub, so the write-latency distribution
+        // lives in the threaded/sim engines only).
+        let g_ckpt_gen = sink.gauge("ckpt.generation");
+        let g_ckpt_bytes = sink.gauge("ckpt.bytes");
+        let g_ckpt_age = sink.gauge("ckpt.age_secs");
+
+        loop {
+            // Periodic crash-consistency checkpoint, captured *between*
+            // events — the only instants at which the queue's pending set
+            // plus the server state is the complete run state. The capture
+            // reads everything and mutates nothing, so the schedule and the
+            // math are untouched whether or not a checkpoint is written.
+            if ckpt.due(queue.now()) {
+                let state = PsCkptState {
+                    schema: PS_CKPT_SCHEMA.to_string(),
+                    t: queue.now(),
+                    model: model.clone(),
+                    shard_schedulers: shard_schedulers.clone(),
+                    curve: curve.clone(),
+                    last_eval,
+                    workers: stats
+                        .iter()
+                        .map(|s| PsWorkerCkpt {
+                            updates: s.updates,
+                            batches: s.batches,
+                            examples: s.examples,
+                        })
+                        .collect(),
+                    pending: queue
+                        .pending_in_order()
+                        .into_iter()
+                        .map(|(at, p)| PsPendingCkpt {
+                            at,
+                            worker: p.worker,
+                            snapshot: p.snapshot.clone(),
+                            range: p.range,
+                        })
+                        .collect(),
+                    watchdog: watchdog.export_state(),
+                };
+                if let Some(report) = ckpt.save(state.t, &state) {
+                    g_ckpt_gen.set(report.generation as f64);
+                    g_ckpt_bytes.set(report.bytes as f64);
+                    flight.set_resumable_from(report.path.display().to_string());
+                }
+            }
+            let Some((t, p)) = queue.pop() else { break };
             if t > budget {
                 break;
             }
@@ -326,6 +471,9 @@ impl PsEngine {
 
             if t - last_eval >= cfg.train.eval_interval {
                 last_eval = t;
+                if ckpt.enabled() {
+                    g_ckpt_age.set(t - ckpt.last_saved_at().unwrap_or(0.0));
+                }
                 let loss = eval(&model, t, total_served(&shard_schedulers), &mut curve);
                 // No adaptive controller here: a Clamp action has nothing
                 // to act on, so the request is drained and only recorded.
@@ -538,6 +686,56 @@ mod tests {
             ps.epochs,
             shared.epochs
         );
+    }
+
+    #[test]
+    fn ps_checkpointed_run_is_untouched_and_resume_is_bit_identical() {
+        use hetero_ckpt::CkptConfig;
+        let data = dataset();
+        let cfg = ps_config(0.05, 1.0);
+        let dir = std::env::temp_dir().join(format!("hetero-ps-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: the uninterrupted run.
+        let baseline = PsEngine::new(cfg.clone()).unwrap().run(&data);
+
+        // Checkpointing on: the run itself must be bit-identical to the
+        // baseline (observation never feeds back into the schedule).
+        let writer = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.01,
+            retain: 3,
+            resume: false,
+        })
+        .unwrap();
+        let checked = PsEngine::new(cfg.clone()).unwrap().run_ckpt(
+            &data,
+            &FlightRecorder::disabled(),
+            &writer,
+        );
+        assert_eq!(baseline.loss_curve, checked.loss_curve);
+        assert!(writer.latest_path().is_some(), "no checkpoint written");
+
+        // Resume from the newest mid-run generation: the continued curve
+        // must equal the uninterrupted one bit-for-bit.
+        let reader = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.01,
+            retain: 3,
+            resume: true,
+        })
+        .unwrap();
+        let resumed =
+            PsEngine::new(cfg)
+                .unwrap()
+                .run_ckpt(&data, &FlightRecorder::disabled(), &reader);
+        assert_eq!(baseline.loss_curve, resumed.loss_curve);
+        assert_eq!(baseline.epochs, resumed.epochs);
+        for (a, b) in baseline.workers.iter().zip(&resumed.workers) {
+            assert_eq!(a.batches, b.batches);
+            assert_eq!(a.examples, b.examples);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

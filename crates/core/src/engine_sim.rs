@@ -20,15 +20,19 @@
 //!    applied to the live model, update counts are credited, and the worker
 //!    immediately requests more work.
 
+use hetero_ckpt::Checkpointer;
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
-use hetero_flight::{FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog};
-use hetero_metrics::{HistHandle, Metric, MetricsHub};
+use hetero_flight::{
+    FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog, WatchdogState,
+};
+use hetero_metrics::{HistHandle, Metric, MetricsHub, GLOBAL_WORKER};
 use hetero_nn::{scan_model, Gradient, MergeScan, MlpSpec, Model, Workspace};
 use hetero_sim::{CpuModel, DeviceModel, EventQueue, GpuModel, UtilizationTimeline};
 use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::adaptive::{AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
@@ -171,6 +175,109 @@ enum Ev {
     Eval,
 }
 
+/// Serializable mirror of [`Ev`] for checkpoints. In-flight completion
+/// events carry their full model snapshot: the gradient a resumed run
+/// computes for them must come from the exact same weights the original
+/// schedule assigned, or bit-identity is lost.
+#[derive(Serialize, Deserialize)]
+enum EvState {
+    /// Mirror of [`Ev::Complete`].
+    Complete {
+        worker: usize,
+        range: BatchRange,
+        snapshot: Model,
+        updates_at_snapshot: u64,
+    },
+    /// Mirror of [`Ev::Eval`].
+    Eval,
+}
+
+impl EvState {
+    fn capture(ev: &Ev) -> Self {
+        match ev {
+            Ev::Complete {
+                worker,
+                range,
+                snapshot,
+                updates_at_snapshot,
+            } => EvState::Complete {
+                worker: *worker,
+                range: *range,
+                snapshot: snapshot.clone(),
+                updates_at_snapshot: *updates_at_snapshot,
+            },
+            Ev::Eval => EvState::Eval,
+        }
+    }
+
+    fn restore(self) -> Ev {
+        match self {
+            EvState::Complete {
+                worker,
+                range,
+                snapshot,
+                updates_at_snapshot,
+            } => Ev::Complete {
+                worker,
+                range,
+                snapshot,
+                updates_at_snapshot,
+            },
+            EvState::Eval => Ev::Eval,
+        }
+    }
+}
+
+/// One pending event at its scheduled virtual time. Stored in pop order;
+/// re-scheduling in this order reproduces the queue's tie-breaking exactly
+/// (see [`EventQueue::pending_in_order`]).
+#[derive(Serialize, Deserialize)]
+struct PendingEv {
+    at: f64,
+    ev: EvState,
+}
+
+/// Per-worker counters a resumed run must continue from (the watchdog's
+/// per-layer step numbers and the fault plan's `death_after`/`poison_at`
+/// sites key off `batches`).
+#[derive(Serialize, Deserialize)]
+struct SimWorkerCkpt {
+    updates: f64,
+    batches: u64,
+    examples: u64,
+    retired: Option<String>,
+}
+
+/// Everything a [`SimEngine`] run is, frozen at one virtual instant.
+///
+/// Deliberately exhaustive: model weights, the adaptive controller, the
+/// batch-schedule cursor, the SVRG anchor pair, the loss curve so far,
+/// eval cadence state, per-worker counters, watchdog tallies, and every
+/// in-flight event (with its model snapshot). Restoring this state and
+/// re-running the event loop continues the original run bit-identically —
+/// the property `crates/ckpt/tests` locks in.
+#[derive(Serialize, Deserialize)]
+struct SimCkptState {
+    schema: String,
+    t: f64,
+    model: Model,
+    controller: AdaptiveController,
+    scheduler: BatchScheduler,
+    global_updates: u64,
+    anchor: Option<(Model, Model)>,
+    curve: Vec<LossPoint>,
+    last_epoch_evaled: usize,
+    last_eval_time: f64,
+    workers: Vec<SimWorkerCkpt>,
+    pending: Vec<PendingEv>,
+    watchdog: WatchdogState,
+}
+
+/// Schema tag sanity-checked at restore so a checkpoint from a different
+/// engine (or a future incompatible layout) is rejected instead of
+/// half-applied.
+const SIM_CKPT_SCHEMA: &str = "hetero-sim-ckpt/v1";
+
 /// The discrete-event engine.
 pub struct SimEngine {
     cfg: SimEngineConfig,
@@ -238,6 +345,32 @@ impl SimEngine {
         hub: &MetricsHub,
         flight: &FlightRecorder,
     ) -> TrainResult {
+        self.run_ckpt(dataset, sink, hub, flight, &Checkpointer::disabled())
+    }
+
+    /// [`SimEngine::run_flight`] with crash-consistent checkpointing
+    /// attached.
+    ///
+    /// At the checkpointer's cadence (virtual seconds) the engine freezes
+    /// its complete state — model, adaptive controller, schedule cursor,
+    /// SVRG anchor, loss curve, per-worker counters, watchdog tallies, and
+    /// every in-flight event with its model snapshot — and publishes it
+    /// atomically (temp file + fsync + rename + CRC32 footer; see
+    /// `hetero-ckpt`). A checkpointer configured with `resume: true` loads
+    /// the newest valid generation before training and **continues the
+    /// original run bit-identically**: the event queue's pending events
+    /// are re-scheduled in pop order, so even same-instant ties break as
+    /// they would have. Checkpoint observation never feeds back into the
+    /// schedule; a disabled checkpointer reduces this to exactly
+    /// [`SimEngine::run_flight`].
+    pub fn run_ckpt(
+        &self,
+        dataset: &DenseDataset,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+        flight: &FlightRecorder,
+        ckpt: &Checkpointer,
+    ) -> TrainResult {
         // The retention window needs *some* sink; prefer the caller's, fall
         // back to the recorder's bounded ring.
         let flight_sink;
@@ -259,7 +392,7 @@ impl SimEngine {
             .unwrap_or(1);
         sink.counter("engine.pool_oversubscription")
             .add(pool.current_num_threads().saturating_sub(host) as u64);
-        pool.install(|| self.run_traced_inner(dataset, sink, hub, flight))
+        pool.install(|| self.run_traced_inner(dataset, sink, hub, flight, ckpt))
     }
 
     fn run_traced_inner(
@@ -268,6 +401,7 @@ impl SimEngine {
         sink: &TraceSink,
         hub: &MetricsHub,
         flight: &FlightRecorder,
+        ckpt: &Checkpointer,
     ) -> TrainResult {
         let cfg = &self.cfg;
         let train = &cfg.train;
@@ -395,10 +529,47 @@ impl SimEngine {
             l
         };
 
-        // Initial loss (identical across algorithms per §VII-A); it seeds
-        // the watchdog's divergence/stall baseline (never reacts).
-        let l0 = record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
-        watchdog.observe_eval(l0 as f64);
+        let mut last_epoch_evaled = 0usize;
+        let mut last_eval_time = 0.0f64;
+
+        // --- Resume from the newest valid checkpoint ----------------------------
+        // Replaces the freshly initialized state wholesale. The worker-count
+        // guard rejects a checkpoint from a differently shaped run (the
+        // schema tag already rejects other engines' checkpoints).
+        let resume: Option<SimCkptState> = ckpt
+            .resume_state::<SimCkptState>()
+            .filter(|s| s.schema == SIM_CKPT_SCHEMA && s.workers.len() == devices.len());
+        let resumed = resume.is_some();
+        if let Some(s) = resume {
+            model = s.model;
+            controller = s.controller;
+            scheduler = s.scheduler;
+            global_updates = s.global_updates;
+            anchor = s.anchor;
+            curve = s.curve;
+            last_epoch_evaled = s.last_epoch_evaled;
+            last_eval_time = s.last_eval_time;
+            for (stat, w) in stats.iter_mut().zip(&s.workers) {
+                stat.updates = w.updates;
+                stat.batches = w.batches;
+                stat.examples = w.examples;
+                stat.retired = w.retired.clone();
+            }
+            watchdog.restore_state(&s.watchdog);
+            // Re-schedule the in-flight events in pop order: fresh monotone
+            // sequence numbers preserve the original tie-breaking, so the
+            // continuation is bit-identical to the uninterrupted run.
+            for p in s.pending {
+                queue.schedule_at(p.at, p.ev.restore());
+            }
+            ckpt.resume_mark(s.t);
+            sink.counter("ckpt.resumes").add(1);
+        } else {
+            // Initial loss (identical across algorithms per §VII-A); it
+            // seeds the watchdog's divergence/stall baseline (never reacts).
+            let l0 = record_eval(0.0, 0.0, &model, &mut curve, &mut eval_timeline);
+            watchdog.observe_eval(l0 as f64);
+        }
 
         // Health reactions need the controller and scheduler, which the
         // event loop also borrows — macros keep everything lexical.
@@ -479,32 +650,87 @@ impl SimEngine {
         }
 
         // --- Kick off every worker ---------------------------------------------
-        for (w, device) in devices.iter().enumerate() {
-            self.assign(
-                w,
-                device,
-                &mut controller,
-                &mut scheduler,
-                &model,
-                &mut queue,
-                &mut stats,
-                budget,
-                global_updates,
-                sink,
-                &timeline_rejects,
-                &obs,
-            );
+        // A resumed run's workers are already in flight (their completion
+        // events came back with the checkpoint), so the kickoff is fresh
+        // starts only.
+        if !resumed {
+            for (w, device) in devices.iter().enumerate() {
+                self.assign(
+                    w,
+                    device,
+                    &mut controller,
+                    &mut scheduler,
+                    &model,
+                    &mut queue,
+                    &mut stats,
+                    budget,
+                    global_updates,
+                    sink,
+                    &timeline_rejects,
+                    &obs,
+                );
+            }
+            queue.schedule_at(train.eval_interval.min(budget), Ev::Eval);
         }
-        queue.schedule_at(train.eval_interval.min(budget), Ev::Eval);
 
-        let mut last_epoch_evaled = 0usize;
-        let mut last_eval_time = 0.0f64;
         // Evaluations are throttled so that datasets small enough to finish
         // an epoch every few events do not flood the curve.
         let min_eval_spacing = train.eval_interval * 0.25;
 
+        // Checkpoint observability: generation/bytes gauges plus the
+        // write-latency histogram (all no-ops when sink/hub are disabled).
+        let g_ckpt_gen = sink.gauge("ckpt.generation");
+        let g_ckpt_bytes = sink.gauge("ckpt.bytes");
+        let g_ckpt_age = sink.gauge("ckpt.age_secs");
+        let ckpt_hist = hub.histogram(Metric::CkptWrite, GLOBAL_WORKER);
+
         // --- Event loop ---------------------------------------------------------
-        while let Some((t, ev)) = queue.pop() {
+        loop {
+            // Periodic crash-consistency checkpoint, captured *between*
+            // events — the only instants at which the queue's pending set
+            // plus the coordinator state is the complete run state. The
+            // capture reads everything and mutates nothing, so the
+            // schedule and the math are untouched whether or not a
+            // checkpoint is written.
+            if ckpt.due(queue.now()) {
+                let state = SimCkptState {
+                    schema: SIM_CKPT_SCHEMA.to_string(),
+                    t: queue.now(),
+                    model: model.clone(),
+                    controller: controller.clone(),
+                    scheduler: scheduler.clone(),
+                    global_updates,
+                    anchor: anchor.clone(),
+                    curve: curve.clone(),
+                    last_epoch_evaled,
+                    last_eval_time,
+                    workers: stats
+                        .iter()
+                        .map(|s| SimWorkerCkpt {
+                            updates: s.updates,
+                            batches: s.batches,
+                            examples: s.examples,
+                            retired: s.retired.clone(),
+                        })
+                        .collect(),
+                    pending: queue
+                        .pending_in_order()
+                        .into_iter()
+                        .map(|(at, ev)| PendingEv {
+                            at,
+                            ev: EvState::capture(ev),
+                        })
+                        .collect(),
+                    watchdog: watchdog.export_state(),
+                };
+                if let Some(report) = ckpt.save(state.t, &state) {
+                    g_ckpt_gen.set(report.generation as f64);
+                    g_ckpt_bytes.set(report.bytes as f64);
+                    ckpt_hist.record_secs(report.write_secs);
+                    flight.set_resumable_from(report.path.display().to_string());
+                }
+            }
+            let Some((t, ev)) = queue.pop() else { break };
             if t > budget {
                 break;
             }
@@ -529,6 +755,9 @@ impl SimEngine {
                     );
                     handle_health!(loss as f64, t);
                     last_eval_time = t;
+                    if ckpt.enabled() {
+                        g_ckpt_age.set(t - ckpt.last_saved_at().unwrap_or(0.0));
+                    }
                     let next = t + train.eval_interval;
                     if next <= budget {
                         queue.schedule_at(next, Ev::Eval);
@@ -1161,6 +1390,8 @@ mod tests {
             measured_beta: false,
             eval_interval: budget / 10.0,
             eval_subsample: 256,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed: 7,
         };
         SimEngineConfig {
@@ -1194,6 +1425,63 @@ mod tests {
             assert_eq!(a.time, b.time);
         }
         assert_eq!(r1.total_updates(), r2.total_updates());
+    }
+
+    #[test]
+    fn checkpointed_run_is_untouched_and_resume_is_bit_identical() {
+        use hetero_ckpt::CkptConfig;
+        let data = tiny_dataset();
+        let cfg = tiny_config(AlgorithmKind::AdaptiveHogbatch, 0.02);
+        let dir = std::env::temp_dir().join(format!("hetero-sim-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: the uninterrupted run.
+        let baseline = SimEngine::new(cfg.clone()).unwrap().run(&data);
+
+        // Checkpointing on: the run itself must be bit-identical to the
+        // baseline (observation never feeds back into the schedule).
+        let writer = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.004,
+            retain: 3,
+            resume: false,
+        })
+        .unwrap();
+        let checked = SimEngine::new(cfg.clone()).unwrap().run_ckpt(
+            &data,
+            &TraceSink::disabled(),
+            &MetricsHub::disabled(),
+            &FlightRecorder::disabled(),
+            &writer,
+        );
+        assert_eq!(baseline.loss_curve, checked.loss_curve);
+        assert!(writer.latest_path().is_some(), "no checkpoint written");
+
+        // Resume from the newest mid-run generation: the continued curve
+        // must equal the uninterrupted one bit-for-bit.
+        let reader = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.004,
+            retain: 3,
+            resume: true,
+        })
+        .unwrap();
+        let resumed = SimEngine::new(cfg).unwrap().run_ckpt(
+            &data,
+            &TraceSink::disabled(),
+            &MetricsHub::disabled(),
+            &FlightRecorder::disabled(),
+            &reader,
+        );
+        assert_eq!(baseline.loss_curve, resumed.loss_curve);
+        assert_eq!(baseline.epochs, resumed.epochs);
+        // Worker counters continue, not restart.
+        for (a, b) in baseline.workers.iter().zip(&resumed.workers) {
+            assert_eq!(a.batches, b.batches);
+            assert_eq!(a.examples, b.examples);
+            assert_eq!(a.updates, b.updates);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

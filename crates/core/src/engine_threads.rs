@@ -35,16 +35,20 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hetero_ckpt::Checkpointer;
 use hetero_data::batch::BatchRange;
 use hetero_data::{BatchScheduler, DenseDataset, Labels};
-use hetero_flight::{FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog};
+use hetero_flight::{
+    FlightRecorder, HealthAction, HealthSnapshot, Provenance, Watchdog, WatchdogState,
+};
 use hetero_gpu::{GpuDevice, GpuMlp};
-use hetero_metrics::{Metric, MetricsHub};
+use hetero_metrics::{Metric, MetricsHub, GLOBAL_WORKER};
 use hetero_mq::{channel_traced, Receiver, RecvTimeoutError, Sender};
 use hetero_nn::{scan_model, MergeScan, MlpSpec, Model, SharedModel, Workspace};
 use hetero_sim::{DeviceModel, GpuModel};
 use hetero_tensor::Matrix;
 use hetero_trace::{CounterHandle, EventKind, TraceSink, COORDINATOR};
+use serde::{Deserialize, Serialize};
 
 use crate::adaptive::{credit_updates, AdaptiveController, WorkerBatchState};
 use crate::config::{AlgorithmKind, TrainConfig};
@@ -153,6 +157,42 @@ impl Supervision<'_> {
     }
 }
 
+/// Per-worker counters a resumed run continues from.
+#[derive(Serialize, Deserialize)]
+struct ThreadedWorkerCkpt {
+    updates: f64,
+    batches: u64,
+    examples: u64,
+}
+
+/// Wall-clock engine state frozen at one instant. Unlike the virtual-clock
+/// engines this cannot be bit-identical — workers race the capture — so the
+/// checkpoint holds the *statistically sufficient* state: a racy-read model
+/// image, the schedule cursor, the adaptive controller, and every range
+/// that was in flight (re-queued on resume so no example is silently
+/// dropped). A resumed run is a fresh set of threads continuing the same
+/// optimization trajectory, so its loss curve is statistically — not
+/// bit-for-bit — indistinguishable from an uninterrupted run.
+#[derive(Serialize, Deserialize)]
+struct ThreadedCkptState {
+    schema: String,
+    /// Training wall-seconds consumed before this checkpoint, summed
+    /// across incarnations; the resumed run offsets its clock and shrinks
+    /// its budget by this.
+    t: f64,
+    model: Model,
+    controller: AdaptiveController,
+    scheduler: BatchScheduler,
+    curve: Vec<LossPoint>,
+    workers: Vec<ThreadedWorkerCkpt>,
+    requeue: Vec<BatchRange>,
+    requeued_batches: u64,
+    watchdog: WatchdogState,
+}
+
+/// Schema tag rejecting checkpoints from other engines or layouts.
+const THREADED_CKPT_SCHEMA: &str = "hetero-threaded-ckpt/v1";
+
 /// The wall-clock engine.
 pub struct ThreadedEngine {
     cfg: ThreadedEngineConfig,
@@ -241,6 +281,31 @@ impl ThreadedEngine {
         hub: &MetricsHub,
         flight: &FlightRecorder,
     ) -> TrainResult {
+        self.run_ckpt(dataset, sink, hub, flight, &Checkpointer::disabled())
+    }
+
+    /// [`ThreadedEngine::run_flight`] with crash-consistent checkpointing.
+    ///
+    /// When a checkpoint comes due the coordinator captures the model via a
+    /// racy [`SharedModel::snapshot_into`] read — the Hogwild lanes and the
+    /// GPU CAS-merge loop never stall — plus the schedule cursor, adaptive
+    /// controller, loss curve, in-flight ranges, and watchdog tallies, and
+    /// publishes them through `hetero-ckpt`'s atomic-rename path. A
+    /// checkpointer with `resume: true` restores that state, offsets the
+    /// wall clock by the consumed training time, and finishes the remaining
+    /// budget with fresh threads; the continued loss curve is statistically
+    /// indistinguishable from an uninterrupted run (real concurrency makes
+    /// bit-identity impossible here — the virtual-clock engines provide
+    /// that property). A disabled checkpointer reduces this to exactly
+    /// [`ThreadedEngine::run_flight`].
+    pub fn run_ckpt(
+        &self,
+        dataset: Arc<DenseDataset>,
+        sink: &TraceSink,
+        hub: &MetricsHub,
+        flight: &FlightRecorder,
+        ckpt: &Checkpointer,
+    ) -> TrainResult {
         // The retention window needs *some* sink; prefer the caller's, fall
         // back to the recorder's bounded ring.
         let flight_sink;
@@ -257,12 +322,8 @@ impl ThreadedEngine {
         let spec = cfg.spec.clone();
         assert_eq!(dataset.features(), spec.input_dim, "feature width");
 
-        let init = Model::new(spec.clone(), train.init, train.seed);
-        watchdog.ensure_layers(init.layers().len());
-        let shared = Arc::new(SharedModel::new(&init));
-        let t0 = Instant::now();
-
-        // Worker slots: CPU first (if used), then GPU.
+        // Worker slots: CPU first (if used), then GPU. Built before the
+        // model so the resume guard below can check the run shape.
         let mut kinds = Vec::new();
         if algo.uses_cpu() {
             kinds.push(WorkerKind::Cpu);
@@ -272,6 +333,23 @@ impl ThreadedEngine {
                 kinds.push(WorkerKind::Gpu);
             }
         }
+
+        // --- Resume from the newest valid checkpoint ----------------------------
+        // The worker-count guard rejects a checkpoint from a differently
+        // shaped run (the schema tag already rejects other engines').
+        let resume: Option<ThreadedCkptState> = ckpt
+            .resume_state::<ThreadedCkptState>()
+            .filter(|s| s.schema == THREADED_CKPT_SCHEMA && s.workers.len() == kinds.len());
+        let t_base = resume.as_ref().map_or(0.0, |s| s.t);
+
+        let init = match &resume {
+            Some(s) => s.model.clone(),
+            None => Model::new(spec.clone(), train.init, train.seed),
+        };
+        watchdog.ensure_layers(init.layers().len());
+        let shared = Arc::new(SharedModel::new(&init));
+        let t0 = Instant::now();
+
         if flight.enabled() {
             flight.set_provenance(Provenance {
                 engine: "threaded".into(),
@@ -393,7 +471,9 @@ impl ThreadedEngine {
             let model = shared.snapshot();
             let pass = gemm_pool.install(|| hetero_nn::forward(&model, &eval_x, true));
             let point = LossPoint {
-                time: t0.elapsed().as_secs_f64(),
+                // `t_base` splices a resumed incarnation's curve onto the
+                // restored prefix's time axis.
+                time: t_base + t0.elapsed().as_secs_f64(),
                 epochs: scheduler.epochs_elapsed(),
                 loss: hetero_nn::loss(pass.probs(), eval_labels.as_targets(), spec.loss),
                 accuracy: hetero_nn::accuracy(pass.probs(), eval_labels.as_targets()),
@@ -413,17 +493,49 @@ impl ThreadedEngine {
             }
             point
         };
-        let first = eval(&shared, &scheduler, t0);
-        // Seed the watchdog's divergence/stall baseline with the initial
-        // loss (the first observation never reacts).
-        watchdog.observe_eval(first.loss as f64);
-        curve.push(first);
-
-        let budget = Duration::from_secs_f64(train.time_budget);
+        // The remaining budget is what the original run had not yet spent.
+        let budget = Duration::from_secs_f64((train.time_budget - t_base).max(0.0));
         let mut active = vec![true; kinds.len()];
         let mut in_flight: Vec<Option<BatchRange>> = vec![None; kinds.len()];
         let mut requeue: VecDeque<BatchRange> = VecDeque::new();
         let mut requeued_batches: u64 = 0;
+
+        if let Some(s) = resume {
+            controller = s.controller;
+            scheduler = s.scheduler;
+            curve = s.curve;
+            for (stat, wc) in stats.iter_mut().zip(&s.workers) {
+                stat.updates = wc.updates;
+                stat.batches = wc.batches;
+                stat.examples = wc.examples;
+            }
+            // Ranges that were in flight (or re-queued) when the
+            // checkpoint froze go back to the front of the queue: they were
+            // already counted by the scheduler, so serving them from the
+            // requeue keeps `examples_served`/`epochs_elapsed` exact.
+            requeue.extend(s.requeue);
+            requeued_batches = s.requeued_batches;
+            watchdog.restore_state(&s.watchdog);
+            ckpt.resume_mark(t_base);
+            sink.counter("ckpt.resumes").add(1);
+        } else {
+            let first = eval(&shared, &scheduler, t0);
+            // Seed the watchdog's divergence/stall baseline with the
+            // initial loss (the first observation never reacts).
+            watchdog.observe_eval(first.loss as f64);
+            curve.push(first);
+        }
+
+        // Checkpoint observability: generation/bytes/age gauges plus the
+        // write-latency histogram (no-ops when sink/hub are disabled). The
+        // capture buffer is reused so a checkpoint allocates nothing on the
+        // coordinator's steady path beyond the serialized payload.
+        let g_ckpt_gen = sink.gauge("ckpt.generation");
+        let g_ckpt_bytes = sink.gauge("ckpt.bytes");
+        let g_ckpt_age = sink.gauge("ckpt.age_secs");
+        let ckpt_hist = hub.histogram(Metric::CkptWrite, GLOBAL_WORKER);
+        let mut ckpt_model: Option<Model> =
+            ckpt.enabled().then(|| Model::zeros_like(shared.spec()));
 
         macro_rules! sup {
             () => {
@@ -535,8 +647,50 @@ impl ThreadedEngine {
                     "batch growth frozen on worker health report".to_string()
                 );
             }
+            // Periodic crash-consistency checkpoint. The model image is a
+            // racy `snapshot_into` read — workers keep merging throughout —
+            // so the capture never stalls the hot path; everything else
+            // captured here is coordinator-owned state.
+            let t_train = t_base + t0.elapsed().as_secs_f64();
+            if ckpt.due(t_train) {
+                if let Some(m) = ckpt_model.as_mut() {
+                    shared.snapshot_into(m);
+                    let state = ThreadedCkptState {
+                        schema: THREADED_CKPT_SCHEMA.to_string(),
+                        t: t_train,
+                        model: m.clone(),
+                        controller: controller.clone(),
+                        scheduler: scheduler.clone(),
+                        curve: curve.clone(),
+                        workers: stats
+                            .iter()
+                            .map(|s| ThreadedWorkerCkpt {
+                                updates: s.updates,
+                                batches: s.batches,
+                                examples: s.examples,
+                            })
+                            .collect(),
+                        requeue: requeue
+                            .iter()
+                            .copied()
+                            .chain(in_flight.iter().flatten().copied())
+                            .collect(),
+                        requeued_batches,
+                        watchdog: watchdog.export_state(),
+                    };
+                    if let Some(report) = ckpt.save(t_train, &state) {
+                        g_ckpt_gen.set(report.generation as f64);
+                        g_ckpt_bytes.set(report.bytes as f64);
+                        ckpt_hist.record_secs(report.write_secs);
+                        flight.set_resumable_from(report.path.display().to_string());
+                    }
+                }
+            }
             let now = t0.elapsed();
             if now >= next_eval {
+                if ckpt.enabled() {
+                    g_ckpt_age.set(t_train - ckpt.last_saved_at().unwrap_or(0.0));
+                }
                 let point = eval(&shared, &scheduler, t0);
                 match watchdog.observe_eval(point.loss as f64) {
                     HealthAction::Ignore => {}
@@ -681,7 +835,8 @@ impl ThreadedEngine {
             s.final_batch = controller.batch(w);
             s.summarize_timeline();
         }
-        let duration = t0.elapsed().as_secs_f64();
+        // Total training time across incarnations, not just this one.
+        let duration = t_base + t0.elapsed().as_secs_f64();
         if sink.enabled() {
             let examples: u64 = stats.iter().map(|s| s.examples).sum();
             sink.gauge("engine.examples_per_sec")
@@ -1193,6 +1348,8 @@ mod tests {
                 measured_beta: false,
                 eval_interval: secs / 4.0,
                 eval_subsample: 200,
+                ckpt_interval: None,
+                ckpt_retain: 2,
                 seed: 3,
             },
             cpu_threads: 4,
@@ -1433,6 +1590,76 @@ mod tests {
     #[test]
     fn tensorflow_rejected() {
         assert!(ThreadedEngine::new(config(AlgorithmKind::TensorFlow, 0.1)).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_continues_the_run() {
+        use hetero_ckpt::CkptConfig;
+        let data = dataset();
+        let dir = std::env::temp_dir().join(format!("hetero-thr-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First incarnation: train 0.4s of a 0.8s budget, checkpointing
+        // every 50ms, then stop (simulating a crash after the last save).
+        let mut cfg = config(AlgorithmKind::CpuGpuHogbatch, 0.4);
+        cfg.train.time_budget = 0.4;
+        let writer = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.05,
+            retain: 2,
+            resume: false,
+        })
+        .unwrap();
+        let first = ThreadedEngine::new(cfg.clone()).unwrap().run_ckpt(
+            data.clone(),
+            &TraceSink::disabled(),
+            &MetricsHub::disabled(),
+            &FlightRecorder::disabled(),
+            &writer,
+        );
+        assert!(writer.latest_path().is_some(), "no checkpoint written");
+        assert!(first.final_loss() < first.initial_loss());
+
+        // Second incarnation: same config with a larger budget resumes
+        // from the newest generation and finishes the remaining time.
+        cfg.train.time_budget = 0.7;
+        let reader = Checkpointer::new(CkptConfig {
+            dir: dir.clone(),
+            interval: 0.05,
+            retain: 2,
+            resume: true,
+        })
+        .unwrap();
+        let resumed = ThreadedEngine::new(cfg).unwrap().run_ckpt(
+            data,
+            &TraceSink::disabled(),
+            &MetricsHub::disabled(),
+            &FlightRecorder::disabled(),
+            &reader,
+        );
+        // The restored curve is a literal prefix of the first run's curve
+        // (it was captured from that run), and the resumed incarnation
+        // appends new points beyond it on the same time axis.
+        let n_prefix = resumed
+            .loss_curve
+            .iter()
+            .zip(&first.loss_curve)
+            .take_while(|(a, b)| a.time == b.time && a.loss == b.loss)
+            .count();
+        assert!(n_prefix >= 1, "resumed curve lost the original prefix");
+        assert!(
+            resumed.loss_curve.len() > n_prefix,
+            "resume added no new eval points"
+        );
+        let t_ck = resumed.loss_curve[n_prefix - 1].time;
+        assert!(
+            resumed.loss_curve[n_prefix..].iter().all(|p| p.time > t_ck),
+            "resumed points must continue past the checkpoint"
+        );
+        // The resumed run spent the restored time plus the remainder.
+        assert!(resumed.duration > 0.5, "duration {}", resumed.duration);
+        assert!(resumed.final_loss().is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

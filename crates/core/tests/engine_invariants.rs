@@ -64,6 +64,8 @@ fn config(algo: AlgorithmKind, seed: u64) -> SimEngineConfig {
             measured_beta: false,
             eval_interval: 0.01,
             eval_subsample: 256,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed,
         },
         cpu,

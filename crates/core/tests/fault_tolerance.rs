@@ -69,6 +69,8 @@ fn config(algo: AlgorithmKind, secs: f64, plan: FaultPlan) -> ThreadedEngineConf
             measured_beta: false,
             eval_interval: secs / 4.0,
             eval_subsample: 200,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed: 3,
         },
         cpu_threads: 2,

@@ -69,6 +69,8 @@ fn train(algo: AlgorithmKind, secs: f64) -> TrainConfig {
         measured_beta: false,
         eval_interval: secs / 8.0,
         eval_subsample: 200,
+        ckpt_interval: None,
+        ckpt_retain: 2,
         seed: 3,
     }
 }

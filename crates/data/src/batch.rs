@@ -37,7 +37,10 @@ impl BatchRange {
 }
 
 /// Hands out contiguous batches over `n` examples, epoch after epoch.
-#[derive(Debug, Clone)]
+///
+/// Serializable: the scheduler is part of the training state a checkpoint
+/// captures (cursor, epoch, and progress counters restore exactly).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchScheduler {
     n: usize,
     cursor: usize,
@@ -136,7 +139,7 @@ impl BatchScheduler {
 /// while the *block order* is a fresh seeded permutation each epoch —
 /// batches from different epochs therefore cover the data in different
 /// sequences without copying any rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShuffledScheduler {
     inner: BatchScheduler,
     n: usize,
@@ -145,6 +148,8 @@ pub struct ShuffledScheduler {
     order: Vec<usize>,
     seed: u64,
     current_epoch: usize,
+    /// Examples actually handed out (mapped ranges, not raw cursor steps).
+    examples_served: u64,
 }
 
 impl ShuffledScheduler {
@@ -159,6 +164,7 @@ impl ShuffledScheduler {
             order: Vec::new(),
             seed,
             current_epoch: usize::MAX,
+            examples_served: 0,
         };
         s.reshuffle(0);
         s
@@ -181,11 +187,24 @@ impl ShuffledScheduler {
         if raw.epoch != self.current_epoch {
             self.reshuffle(raw.epoch);
         }
-        // Map the raw cursor position to the permuted block.
+        // Map the raw cursor position to the permuted block. The raw
+        // cursor walks 0..n in `block` strides, so the index is always in
+        // range; a defensive `% order.len()` here would silently alias a
+        // mapping bug onto a wrong-but-valid block instead of surfacing it.
         let block_idx = raw.start / self.block;
-        let mapped = self.order[block_idx % self.order.len()];
+        assert!(
+            block_idx < self.order.len(),
+            "block index {block_idx} out of range for {} blocks",
+            self.order.len()
+        );
+        let mapped = self.order[block_idx];
         let start = mapped * self.block;
         let end = (start + self.block).min(self.n);
+        // Count the *mapped* range actually handed out. When
+        // n % block != 0 the short tail block is served when the
+        // permutation reaches it, not when the raw cursor hits n — counting
+        // the raw range made examples_served/epochs_elapsed drift mid-epoch.
+        self.examples_served += (end - start) as u64;
         Some(BatchRange {
             start,
             end,
@@ -193,9 +212,14 @@ impl ShuffledScheduler {
         })
     }
 
-    /// Fractional epochs elapsed.
+    /// Fractional epochs elapsed, counting examples actually handed out.
     pub fn epochs_elapsed(&self) -> f64 {
-        self.inner.epochs_elapsed()
+        self.examples_served as f64 / self.n as f64
+    }
+
+    /// Total examples handed out (mapped ranges).
+    pub fn examples_served(&self) -> u64 {
+        self.examples_served
     }
 }
 
@@ -314,6 +338,36 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffled_scheduler_counts_mapped_ranges() {
+        // n % block != 0: the tail block (2 examples) is served wherever
+        // the permutation places it; the counter must track the handed-out
+        // ranges exactly at every step, not the raw cursor walk.
+        let mut s = ShuffledScheduler::new(50, 8, 7, Some(2));
+        let mut served = 0u64;
+        while let Some(b) = s.next_block() {
+            served += b.len() as u64;
+            assert_eq!(s.examples_served(), served, "mid-epoch drift");
+            assert!((s.epochs_elapsed() - served as f64 / 50.0).abs() < 1e-12);
+        }
+        assert_eq!(served, 100);
+    }
+
+    #[test]
+    fn shuffled_scheduler_roundtrips_through_serde() {
+        let mut s = ShuffledScheduler::new(50, 8, 7, Some(3));
+        for _ in 0..9 {
+            s.next_block().unwrap();
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: ShuffledScheduler = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // The restored scheduler continues the identical block sequence.
+        for _ in 0..9 {
+            assert_eq!(back.next_block(), s.next_block());
+        }
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct DatasetStats {
     pub multilabel: bool,
     /// Approximate fraction of non-zero entries in the raw data.
     pub density: f32,
+    /// Whether the dataset is treated as dense for preprocessing.
+    ///
+    /// Density alone is a poor gate: covtype at 0.22 is the paper's
+    /// "dense" dataset (its non-zeros are real-valued cartographic
+    /// features, not indicator bits), while w8a/delicious/real-sim are
+    /// genuinely sparse. An explicit flag keeps the preprocessing choice
+    /// reviewable instead of hiding it behind a threshold no preset meets.
+    pub dense: bool,
     /// Hidden-layer count the paper assigns (§VII-A).
     pub hidden_layers: usize,
 }
@@ -65,6 +73,7 @@ impl PaperDataset {
                 classes: 2,
                 multilabel: false,
                 density: 0.22,
+                dense: true,
                 hidden_layers: 6,
             },
             PaperDataset::W8a => DatasetStats {
@@ -74,6 +83,7 @@ impl PaperDataset {
                 classes: 2,
                 multilabel: false,
                 density: 0.04,
+                dense: false,
                 hidden_layers: 8,
             },
             PaperDataset::Delicious => DatasetStats {
@@ -83,6 +93,7 @@ impl PaperDataset {
                 classes: 983,
                 multilabel: true,
                 density: 0.04,
+                dense: false,
                 hidden_layers: 8,
             },
             PaperDataset::RealSim => DatasetStats {
@@ -92,6 +103,7 @@ impl PaperDataset {
                 classes: 2,
                 multilabel: false,
                 density: 0.0025,
+                dense: false,
                 hidden_layers: 4,
             },
         }
@@ -136,7 +148,11 @@ impl PaperDataset {
     /// the sparsity that makes them representative.
     pub fn generate(&self, scale: f64, seed: u64) -> DenseDataset {
         let mut d = self.synth_config(scale, seed).generate();
-        if self.stats().density >= 0.5 {
+        // Gate on the explicit `dense` flag, not a density threshold: the
+        // old `density >= 0.5` check was satisfied by no preset, so the
+        // standardize() branch was dead and covtype shipped variance-scaled
+        // only, contradicting the doc comment above.
+        if self.stats().dense {
             d.standardize();
         } else {
             d.scale_to_unit_variance();
@@ -231,6 +247,41 @@ mod tests {
             Some(PaperDataset::RealSim)
         );
         assert_eq!(PaperDataset::from_name("imagenet"), None);
+    }
+
+    #[test]
+    fn covtype_standardizes_to_zero_mean() {
+        // Pins the fixed preprocessing gate: covtype is the dense preset,
+        // so every feature column must come out mean≈0 / var≈1. Before the
+        // fix it was only variance-scaled (column means stayed positive).
+        let d = PaperDataset::Covtype.generate(0.002, 7);
+        let (rows, cols) = (d.len(), d.features());
+        for c in 0..cols {
+            let mut mean = 0.0f64;
+            let mut var = 0.0f64;
+            for r in 0..rows {
+                mean += d.x.get(r, c) as f64;
+            }
+            mean /= rows as f64;
+            for r in 0..rows {
+                let dv = d.x.get(r, c) as f64 - mean;
+                var += dv * dv;
+            }
+            var /= rows as f64;
+            assert!(mean.abs() < 1e-3, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 0.1 || var < 1e-9, "col {c} var {var}");
+        }
+        // Sparse presets must stay un-centered (zeros preserved).
+        let s = PaperDataset::W8a.generate(0.01, 7);
+        assert!(s.sparsity() > 0.5, "w8a stand-in should stay sparse");
+    }
+
+    #[test]
+    fn dense_flag_matches_paper_presets() {
+        assert!(PaperDataset::Covtype.stats().dense);
+        assert!(!PaperDataset::W8a.stats().dense);
+        assert!(!PaperDataset::Delicious.stats().dense);
+        assert!(!PaperDataset::RealSim.stats().dense);
     }
 
     #[test]

@@ -57,23 +57,34 @@ pub fn parse_reader<R: Read>(reader: R) -> Result<Vec<SparseExample>, ParseError
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let label_tok = parts.next().ok_or_else(|| ParseError {
-            line: lineno + 1,
-            message: "missing label".into(),
-        })?;
-        let labels: Vec<i64> = label_tok
-            .split(',')
-            .map(|t| {
-                // Accept float-formatted labels like "1.0".
-                t.parse::<i64>()
-                    .or_else(|_| t.parse::<f64>().map(|f| f as i64))
-                    .map_err(|_| ParseError {
-                        line: lineno + 1,
-                        message: format!("bad label '{t}'"),
+        let mut parts = line.split_whitespace().peekable();
+        // An all-negative multi-label row is written with an *empty* label
+        // field, so the first token on such a line is already a feature
+        // (`index:value`). Only a token without ':' is a label list.
+        let labels: Vec<i64> = match parts.peek() {
+            Some(tok) if !tok.contains(':') => {
+                let label_tok = parts.next().expect("peeked");
+                label_tok
+                    .split(',')
+                    .map(|t| {
+                        // Accept float-formatted labels like "1.0".
+                        t.parse::<i64>()
+                            .or_else(|_| t.parse::<f64>().map(|f| f as i64))
+                            .map_err(|_| ParseError {
+                                line: lineno + 1,
+                                message: format!("bad label '{t}'"),
+                            })
                     })
-            })
-            .collect::<Result<_, _>>()?;
+                    .collect::<Result<_, _>>()?
+            }
+            Some(_) => Vec::new(),
+            None => {
+                return Err(ParseError {
+                    line: lineno + 1,
+                    message: "missing label".into(),
+                })
+            }
+        };
         let mut features = Vec::new();
         let mut last_idx: i64 = -1;
         for tok in parts {
@@ -190,10 +201,10 @@ pub fn write<W: Write>(dataset: &DenseDataset, mut w: W) -> std::io::Result<()> 
                         }
                     }
                 }
-                if first {
-                    // LIBSVM multi-label lines need at least one label.
-                    write!(w, "0")?;
-                }
+                // A row with no positive labels gets an *empty* label
+                // field (the line starts at its first feature token);
+                // writing a literal `0` would invent a phantom label class
+                // on round-trip and flip a label bit.
             }
         }
         for (j, &v) in dataset.x.row(i).iter().enumerate() {
@@ -294,6 +305,43 @@ mod tests {
         write(&d, &mut buf).unwrap();
         let ex2 = parse_reader(buf.as_slice()).unwrap();
         let d2 = densify("t", &ex2, false, d.features());
+        assert_eq!(d.x, d2.x);
+    }
+
+    #[test]
+    fn write_parse_roundtrip_all_negative_multilabel_row() {
+        // Row 1 has no positive labels: the writer must emit an empty
+        // label field, and the round-trip must neither invent a label
+        // class nor set a label bit on that row.
+        let mut y = Matrix::zeros(3, 2);
+        y.set(0, 0, 1.0);
+        y.set(2, 1, 1.0);
+        let mut x = Matrix::zeros(3, 2);
+        x.set(0, 0, 0.5);
+        x.set(1, 1, 2.0);
+        x.set(2, 0, 1.5);
+        let d = DenseDataset::new("t", x, Labels::MultiHot(y));
+        let mut buf = Vec::new();
+        write(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            !text.lines().nth(1).unwrap().starts_with('0'),
+            "phantom label written: {text:?}"
+        );
+        let ex2 = parse_reader(buf.as_slice()).unwrap();
+        assert_eq!(ex2.len(), 3);
+        assert!(ex2[1].labels.is_empty());
+        let d2 = densify("t", &ex2, true, d.features());
+        assert_eq!(d2.num_classes(), 2, "round-trip invented a label class");
+        match &d2.labels {
+            Labels::MultiHot(m) => {
+                assert_eq!(m.get(0, 0), 1.0);
+                assert_eq!(m.get(1, 0), 0.0);
+                assert_eq!(m.get(1, 1), 0.0);
+                assert_eq!(m.get(2, 1), 1.0);
+            }
+            _ => panic!(),
+        }
         assert_eq!(d.x, d2.x);
     }
 

@@ -30,6 +30,9 @@ pub struct PostmortemBundle {
     pub schema: String,
     /// Why the bundle was dumped.
     pub reason: String,
+    /// Newest crash-consistent checkpoint the dead run can be resumed
+    /// from, when the engine ran with checkpointing on.
+    pub resumable_from: Option<String>,
     /// Run provenance, when the engine recorded it.
     pub provenance: Option<Provenance>,
     /// The watchdog's accumulated health record.
@@ -74,6 +77,9 @@ pub fn render_report(b: &PostmortemBundle) -> String {
     };
     line(format!("postmortem bundle ({})", b.schema));
     line(format!("reason: {}", b.reason));
+    if let Some(p) = &b.resumable_from {
+        line(format!("resumable from: {p}"));
+    }
     line(String::new());
     if let Some(p) = &b.provenance {
         line("provenance:".into());
@@ -173,6 +179,7 @@ mod tests {
         PostmortemBundle {
             schema: SCHEMA.to_string(),
             reason: "worker retirement".into(),
+            resumable_from: Some("results/ckpt/gen-0000000042.ckpt".into()),
             provenance: Some(Provenance {
                 engine: "threaded".into(),
                 algorithm: "CPU+GPU Hogbatch".into(),
@@ -225,6 +232,7 @@ mod tests {
         assert_eq!(back.trace.events_sorted(), b.trace.events_sorted());
         let report = render_report(&back);
         assert!(report.contains("worker retirement"));
+        assert!(report.contains("resumable from: results/ckpt/gen-0000000042.ckpt"));
         assert!(report.contains("worker 1, layer 0, step 3"));
         assert!(report.contains("CPU+GPU Hogbatch"));
         assert!(report.contains("1 events"));

@@ -38,4 +38,4 @@ pub use bundle::{render_report, MetricRow, PostmortemBundle, SCHEMA};
 pub use policy::{HealthAction, HealthPolicy, HealthSummary, NonfiniteRecord};
 pub use recorder::{read_git_sha, FlightConfig, FlightRecorder, HealthSnapshot, Provenance};
 pub use ring::RetentionRing;
-pub use watchdog::Watchdog;
+pub use watchdog::{Watchdog, WatchdogState};

@@ -90,6 +90,9 @@ struct RecorderInner {
     cfg: FlightConfig,
     watchdog: Watchdog,
     provenance: Mutex<Option<Provenance>>,
+    /// Newest crash-consistent checkpoint path, refreshed by the engine on
+    /// every publish so a postmortem names where to resume from.
+    resumable_from: Mutex<Option<String>>,
     snapshots: Mutex<RetentionRing<HealthSnapshot>>,
     /// Distinguishes multiple dumps from one process (monotonic suffix).
     seq: AtomicU64,
@@ -119,6 +122,7 @@ impl FlightRecorder {
                 cfg,
                 watchdog,
                 provenance: Mutex::new(None),
+                resumable_from: Mutex::new(None),
                 seq: AtomicU64::new(0),
                 last_dump: Mutex::new(None),
             })),
@@ -157,6 +161,14 @@ impl FlightRecorder {
     pub fn set_provenance(&self, p: Provenance) {
         if let Some(inner) = &self.inner {
             *inner.provenance.lock() = Some(p);
+        }
+    }
+
+    /// Record the newest checkpoint a dead run can be resumed from
+    /// (engines call this after every successful checkpoint publish).
+    pub fn set_resumable_from(&self, path: String) {
+        if let Some(inner) = &self.inner {
+            *inner.resumable_from.lock() = Some(path);
         }
     }
 
@@ -201,6 +213,7 @@ impl FlightRecorder {
         let bundle = PostmortemBundle {
             schema: SCHEMA.to_string(),
             reason: reason.to_string(),
+            resumable_from: inner.resumable_from.lock().clone(),
             provenance: inner.provenance.lock().clone(),
             health: inner.watchdog.summary(),
             snapshots: inner.snapshots.lock().to_vec(),

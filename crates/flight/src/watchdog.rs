@@ -14,8 +14,36 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
 
 use crate::policy::{HealthAction, HealthPolicy, HealthSummary, NonfiniteRecord};
+
+/// Serializable snapshot of a watchdog's accumulated tallies, captured by
+/// a checkpoint so a resumed run keeps its health history (warnings,
+/// clamps, peak norms, loss-trend state) instead of starting amnesiac.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogState {
+    /// NaN/±Inf elements observed so far.
+    pub nonfinite: u64,
+    /// Policy warnings issued.
+    pub warnings: u64,
+    /// Controller clamps performed.
+    pub clamps: u64,
+    /// First non-finite observation site, if any.
+    pub first_nonfinite: Option<NonfiniteRecord>,
+    /// Per-layer peak L2 gradient norms.
+    pub layer_peaks: Vec<f64>,
+    /// First eval loss seen (anchors divergence detection).
+    pub eval_initial: Option<f64>,
+    /// Best eval loss seen.
+    pub eval_best: f64,
+    /// Evals since the best (stall counter).
+    pub evals_since_best: u32,
+    /// Whether divergence was detected (and reacted to).
+    pub diverged: bool,
+    /// Whether a stall was detected (and reacted to).
+    pub stalled: bool,
+}
 
 #[derive(Default)]
 struct EvalState {
@@ -241,6 +269,65 @@ impl Watchdog {
         inner.tripped_reason.lock().clone()
     }
 
+    /// Export the accumulated tallies for checkpointing. Returns the
+    /// default (empty) state when disabled.
+    pub fn export_state(&self) -> WatchdogState {
+        let Some(inner) = &self.inner else {
+            return WatchdogState::default();
+        };
+        let ev = inner.evals.lock();
+        WatchdogState {
+            // Relaxed loads of monitoring tallies (see module ordering note).
+            nonfinite: inner.nonfinite.load(Ordering::Relaxed),
+            warnings: inner.warnings.load(Ordering::Relaxed),
+            clamps: inner.clamps.load(Ordering::Relaxed),
+            first_nonfinite: *inner.first_nonfinite.lock(),
+            layer_peaks: inner
+                .peaks
+                .read()
+                .iter()
+                .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+                .collect(),
+            eval_initial: ev.initial,
+            eval_best: ev.best,
+            evals_since_best: ev.since_best,
+            diverged: ev.diverged,
+            stalled: ev.stalled,
+        }
+    }
+
+    /// Restore tallies exported by [`export_state`](Self::export_state)
+    /// into this (freshly created) watchdog. A resumed run therefore
+    /// continues the same health record: divergence stays anchored to the
+    /// original initial loss, and already-reacted conditions do not fire a
+    /// second reaction. No-op when disabled.
+    pub fn restore_state(&self, state: &WatchdogState) {
+        let Some(inner) = &self.inner else { return };
+        // Relaxed stores: restore happens before workers start (see module
+        // ordering note).
+        inner.nonfinite.store(state.nonfinite, Ordering::Relaxed);
+        inner.warnings.store(state.warnings, Ordering::Relaxed);
+        inner.clamps.store(state.clamps, Ordering::Relaxed);
+        *inner.first_nonfinite.lock() = state.first_nonfinite;
+        self.ensure_layers(state.layer_peaks.len());
+        {
+            let peaks = inner.peaks.read();
+            for (cell, &peak) in peaks.iter().zip(&state.layer_peaks) {
+                cell.store(peak.to_bits(), Ordering::Relaxed);
+            }
+        }
+        let mut ev = inner.evals.lock();
+        ev.initial = state.eval_initial;
+        ev.best = state.eval_best;
+        ev.since_best = state.evals_since_best;
+        ev.diverged = state.diverged;
+        ev.stalled = state.stalled;
+        // A condition that already triggered its one-shot reaction before
+        // the checkpoint must not react again after resume.
+        ev.divergence_reacted = state.diverged;
+        ev.stall_reacted = state.stalled;
+    }
+
     /// Snapshot the accumulated health record (postmortem path unset —
     /// the flight recorder fills it after dumping).
     pub fn summary(&self) -> HealthSummary {
@@ -383,6 +470,57 @@ mod tests {
         // A new best after the stall does not un-stall the record.
         assert_eq!(w.observe_eval(0.5), HealthAction::Ignore);
         assert!(w.summary().stalled);
+    }
+
+    #[test]
+    fn export_restore_roundtrips_tallies() {
+        let p = HealthPolicy {
+            on_nonfinite: HealthAction::Warn,
+            ..HealthPolicy::default()
+        };
+        let w = Watchdog::new(p.clone());
+        w.ensure_layers(2);
+        w.observe_layer(0, 0, 0, 9.0, 0);
+        w.observe_layer(1, 1, 2, 0.0, 3);
+        w.observe_eval(1.0);
+        w.observe_eval(0.8);
+        w.note_clamp();
+        let state = w.export_state();
+
+        let back = Watchdog::new(p);
+        back.restore_state(&state);
+        assert_eq!(back.export_state(), state);
+        let s = back.summary();
+        assert_eq!(s.nonfinite_events, 3);
+        assert_eq!(s.warnings, 1);
+        assert_eq!(s.clamps, 1);
+        assert_eq!(s.layer_peak_norms, vec![3.0, 0.0]);
+        assert_eq!(
+            s.first_nonfinite,
+            Some(NonfiniteRecord {
+                worker: 1,
+                layer: 1,
+                step: 2
+            })
+        );
+        // Divergence detection stays anchored to the pre-resume initial.
+        assert_eq!(back.observe_eval(100.0), HealthAction::Warn);
+    }
+
+    #[test]
+    fn restored_reacted_conditions_do_not_refire() {
+        let w = Watchdog::new(HealthPolicy::default());
+        w.observe_eval(1.0);
+        w.observe_eval(50.0); // diverged -> Warn (default policy)
+        let state = w.export_state();
+        assert!(state.diverged);
+
+        let back = Watchdog::new(HealthPolicy::default());
+        back.restore_state(&state);
+        // Still diverged after resume, but the one-shot reaction already
+        // happened before the checkpoint.
+        assert_eq!(back.observe_eval(60.0), HealthAction::Ignore);
+        assert!(back.summary().diverged);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn fixture_dump() -> String {
         git_sha: Some("0123456789abcdef0123456789abcdef01234567".into()),
         simd_level: "Avx2".into(),
     });
+    flight.set_resumable_from("results/ckpt/gen-0000000007.ckpt".into());
     let watchdog = flight.watchdog();
     watchdog.ensure_layers(2);
     watchdog.observe_layer(0, 0, 3, 4.0, 0);
@@ -128,6 +129,7 @@ fn bundle_schema_key_sets_are_stable() {
         [
             "schema",
             "reason",
+            "resumable_from",
             "provenance",
             "health",
             "snapshots",

@@ -37,11 +37,14 @@ pub enum Metric {
     /// Gradient staleness per applied update: shared-model version at merge
     /// minus version at read (count of interleaved foreign updates).
     Staleness,
+    /// Wall time spent publishing one crash-consistency checkpoint:
+    /// serialize + write + fsync + atomic rename (ns).
+    CkptWrite,
 }
 
 impl Metric {
     /// Every metric, in export order.
-    pub const ALL: [Metric; 7] = [
+    pub const ALL: [Metric; 8] = [
         Metric::BatchLatency,
         Metric::QueueWait,
         Metric::H2d,
@@ -49,6 +52,7 @@ impl Metric {
         Metric::MergeWait,
         Metric::MergeRetries,
         Metric::Staleness,
+        Metric::CkptWrite,
     ];
 
     /// Stable snake_case name (without unit suffix).
@@ -61,6 +65,7 @@ impl Metric {
             Metric::MergeWait => "merge_wait",
             Metric::MergeRetries => "merge_retries",
             Metric::Staleness => "staleness",
+            Metric::CkptWrite => "ckpt_write",
         }
     }
 
@@ -74,6 +79,7 @@ impl Metric {
             Metric::MergeWait => "Time spent merging a delta into the shared model",
             Metric::MergeRetries => "CAS retries per shared-model merge (contention)",
             Metric::Staleness => "Foreign updates between gradient read and merge",
+            Metric::CkptWrite => "Wall time publishing one crash-consistency checkpoint",
         }
     }
 

@@ -7,8 +7,14 @@
 //!              [--scale 0.005] [--width 64] [--depth N]
 //!              [--budget 0.2] [--lr 0.01] [--gpu-batch 8192]
 //!              [--alpha 2.0] [--beta 1.0] [--kappa 0.0]
+//!              [--ckpt-dir results/ckpt] [--ckpt-interval 0.05]
+//!              [--ckpt-retain 2] [--resume]
 //!              [--seed 42] [--json]
 //! ```
+//!
+//! With `--ckpt-dir` the run publishes crash-consistent checkpoints every
+//! `--ckpt-interval` seconds (virtual for sim/ps, wall for threads) and
+//! `--resume` continues from the newest valid generation in that directory.
 //!
 //! Prints a human-readable summary, or the full `TrainResult` as JSON with
 //! `--json` (for piping into plotting scripts).
@@ -30,6 +36,10 @@ struct Args {
     alpha: f64,
     beta: f64,
     kappa: f32,
+    ckpt_dir: Option<String>,
+    ckpt_interval: f64,
+    ckpt_retain: usize,
+    resume: bool,
     seed: u64,
     json: bool,
 }
@@ -48,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
         alpha: 2.0,
         beta: 1.0,
         kappa: 0.0,
+        ckpt_dir: None,
+        ckpt_interval: 0.05,
+        ckpt_retain: 2,
+        resume: false,
         seed: 42,
         json: false,
     };
@@ -57,6 +71,11 @@ fn parse_args() -> Result<Args, String> {
         let flag = argv[i].as_str();
         if flag == "--json" {
             args.json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--resume" {
+            args.resume = true;
             i += 1;
             continue;
         }
@@ -94,6 +113,13 @@ fn parse_args() -> Result<Args, String> {
             "--alpha" => args.alpha = value.parse().map_err(|e| format!("--alpha: {e}"))?,
             "--beta" => args.beta = value.parse().map_err(|e| format!("--beta: {e}"))?,
             "--kappa" => args.kappa = value.parse().map_err(|e| format!("--kappa: {e}"))?,
+            "--ckpt-dir" => args.ckpt_dir = Some(value.clone()),
+            "--ckpt-interval" => {
+                args.ckpt_interval = value.parse().map_err(|e| format!("--ckpt-interval: {e}"))?
+            }
+            "--ckpt-retain" => {
+                args.ckpt_retain = value.parse().map_err(|e| format!("--ckpt-retain: {e}"))?
+            }
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -113,7 +139,9 @@ fn main() {
                 "usage: hetero-train [--dataset covtype|w8a|delicious|real-sim] \\\n\
                  \t[--algorithm hogwild-cpu|minibatch-gpu|tensorflow|cpu-gpu|omnivore|adaptive] \\\n\
                  \t[--engine sim|threads] [--scale F] [--width N] [--depth N] [--budget S] \\\n\
-                 \t[--lr F] [--gpu-batch N] [--alpha F] [--beta F] [--kappa F] [--seed N] [--json]"
+                 \t[--lr F] [--gpu-batch N] [--alpha F] [--beta F] [--kappa F] \\\n\
+                 \t[--ckpt-dir DIR] [--ckpt-interval S] [--ckpt-retain N] [--resume] \\\n\
+                 \t[--seed N] [--json]"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
@@ -175,8 +203,36 @@ fn main() {
         measured_beta: false,
         eval_interval: args.budget / 20.0,
         eval_subsample: 2048,
+        ckpt_interval: args.ckpt_dir.as_ref().map(|_| args.ckpt_interval),
+        ckpt_retain: args.ckpt_retain.max(1),
         seed: args.seed,
     };
+
+    // Crash-consistency checkpointing, when a directory was given: the
+    // TrainConfig carries the cadence for provenance, the Checkpointer
+    // does the publishing/resuming.
+    let ckpt = match (&args.ckpt_dir, train.ckpt_interval) {
+        (Some(dir), Some(interval)) => Checkpointer::new(CkptConfig {
+            dir: std::path::PathBuf::from(dir),
+            interval,
+            retain: train.ckpt_retain,
+            resume: args.resume,
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("checkpoint error: {e}");
+            std::process::exit(2);
+        }),
+        _ => Checkpointer::disabled(),
+    };
+    if args.resume {
+        match ckpt.latest_path() {
+            Some(p) => eprintln!("resuming from {}", p.display()),
+            None => eprintln!("--resume: no valid checkpoint found, starting fresh"),
+        }
+    }
+    let sink = hetero_sgd::trace::TraceSink::disabled();
+    let hub = MetricsHub::disabled();
+    let flight = FlightRecorder::disabled();
 
     let result = match args.engine.as_str() {
         "sim" => {
@@ -185,7 +241,7 @@ fn main() {
                     eprintln!("config error: {e}");
                     std::process::exit(2);
                 });
-            engine.run(&dataset)
+            engine.run_ckpt(&dataset, &sink, &hub, &flight, &ckpt)
         }
         "threads" => {
             let threads = std::thread::available_parallelism()
@@ -203,7 +259,7 @@ fn main() {
                 eprintln!("config error: {e}");
                 std::process::exit(2);
             });
-            engine.run(Arc::new(dataset))
+            engine.run_ckpt(Arc::new(dataset), &sink, &hub, &flight, &ckpt)
         }
         "ps" => {
             // Distributed parameter-server comparator (§II): one Xeon + one
@@ -222,7 +278,7 @@ fn main() {
                 eprintln!("config error: {e}");
                 std::process::exit(2);
             });
-            engine.run(&dataset)
+            engine.run_ckpt(&dataset, &flight, &ckpt)
         }
         other => {
             eprintln!("unknown engine '{other}' (expected sim|threads|ps)");
@@ -230,6 +286,9 @@ fn main() {
         }
     };
 
+    if let Some(p) = ckpt.latest_path() {
+        eprintln!("resumable from {}", p.display());
+    }
     if args.json {
         println!(
             "{}",

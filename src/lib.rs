@@ -20,6 +20,8 @@
 //! | [`core`] | `hetero-core` | coordinator/workers, Hogbatch algorithms, engines |
 //! | [`trace`] | `hetero-trace` | event tracing, counters, Chrome-trace export |
 //! | [`metrics`] | `hetero-metrics` | histograms, OpenMetrics export, live dashboard |
+//! | [`flight`] | `hetero-flight` | black-box recorder, health watchdog, postmortems |
+//! | [`ckpt`] | `hetero-ckpt` | crash-consistent checkpoint/restore |
 //!
 //! ## Quickstart
 //!
@@ -43,8 +45,10 @@
 //! assert!(result.final_loss().is_finite());
 //! ```
 
+pub use hetero_ckpt as ckpt;
 pub use hetero_core as core;
 pub use hetero_data as data;
+pub use hetero_flight as flight;
 pub use hetero_gpu as gpu;
 pub use hetero_metrics as metrics;
 pub use hetero_mq as mq;
@@ -55,12 +59,14 @@ pub use hetero_trace as trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use hetero_ckpt::{Checkpointer, CkptConfig, CkptStore};
     pub use hetero_core::{
         AdaptiveController, AdaptiveParams, AlgorithmKind, FaultKind, FaultPlan, LossPoint,
         LrScaling, SimEngine, SimEngineConfig, ThreadedEngine, ThreadedEngineConfig, TrainConfig,
         TrainResult, WorkerError, WorkerKind,
     };
     pub use hetero_data::{BatchScheduler, DenseDataset, Labels, PaperDataset, SynthConfig};
+    pub use hetero_flight::{FlightConfig, FlightRecorder};
     pub use hetero_metrics::{DashboardFrame, Metric, MetricsHub, ScrapeServer, Summary};
     pub use hetero_nn::{Activation, InitScheme, LossKind, MlpSpec, Model, SharedModel, Targets};
     pub use hetero_sim::{CpuModel, DeviceModel, GpuModel};

@@ -64,6 +64,8 @@ fn sim_config(
             measured_beta: false,
             eval_interval: budget / 8.0,
             eval_subsample: 512,
+            ckpt_interval: None,
+            ckpt_retain: 2,
             seed: 5,
         },
         cpu,
